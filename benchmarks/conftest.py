@@ -1,0 +1,26 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (or an
+ablation DESIGN.md calls out) and writes its output under
+``benchmarks/results/`` so a full ``pytest benchmarks/ --benchmark-only``
+run leaves the reproduced evaluation on disk.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS.mkdir(exist_ok=True)
+    return RESULTS
+
+
+def save(results_dir, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n[saved {path}]")
+    print(text)

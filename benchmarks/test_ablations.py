@@ -1,0 +1,124 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* operand-network bandwidth (the paper's proposed architectural
+  extension: "more operand network bandwidth"),
+* speculation depth (0 vs the prototype's 7 speculative blocks),
+* the memory dependence predictor (on/off and the 10,000-block clearing),
+* next-block predictor organization (tournament vs gshare vs static),
+* LSQ sizing (the paper's brute-force 256-entry replication vs an ideal
+  right-sized partition, Section 7's area complaint).
+"""
+
+from repro.analysis.area import AreaModel
+from repro.harness import render_table
+from repro.harness.runner import run_trips_workload
+from repro.uarch.config import PredictorConfig, TripsConfig
+
+from .conftest import save
+
+
+def test_ablation_opn_bandwidth(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for lanes in (1, 2):
+            cfg = TripsConfig(opn_links_per_hop=lanes)
+            for name in ("conv", "matrix"):
+                run = run_trips_workload(name, level="hand", config=cfg)
+                rows.append({"Workload": name, "OPN lanes": lanes,
+                             "Cycles": run.cycles,
+                             "IPC": round(run.ipc, 2)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "ablation_opn_bw.txt",
+         render_table(rows, "Ablation: operand network bandwidth"))
+    by = {(r["Workload"], r["OPN lanes"]): r["Cycles"] for r in rows}
+    # doubling operand bandwidth helps (paper Section 7's extension)
+    assert by[("conv", 2)] <= by[("conv", 1)]
+    assert by[("matrix", 2)] <= by[("matrix", 1)]
+
+
+def test_ablation_speculation_depth(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for spec in (0, 3, 7):
+            cfg = TripsConfig(speculative_blocks=spec)
+            run = run_trips_workload("matrix", level="hand", config=cfg)
+            rows.append({"Speculative blocks": spec, "Cycles": run.cycles,
+                         "Mispredict flushes":
+                             run.stats.flushes_mispredict})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "ablation_speculation.txt",
+         render_table(rows, "Ablation: speculation depth (matrix, hand)"))
+    cycles = {r["Speculative blocks"]: r["Cycles"] for r in rows}
+    assert cycles[7] < cycles[0]          # speculation pays
+    assert rows[0]["Mispredict flushes"] == 0
+
+
+def test_ablation_dependence_predictor(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for enabled in (True, False):
+            cfg = TripsConfig(dep_predictor_enabled=enabled)
+            run = run_trips_workload("sha", level="hand", config=cfg)
+            rows.append({"Dep predictor": "on" if enabled else "off",
+                         "Cycles": run.cycles,
+                         "Violation flushes":
+                             run.stats.flushes_violation,
+                         "Deferred loads":
+                             sum(dt.deferred_count
+                                 for dt in run.proc.dts)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "ablation_deppred.txt",
+         render_table(rows, "Ablation: memory dependence predictor (sha)"))
+    on, off = rows[0], rows[1]
+    # the predictor holds predicted-dependent loads back ("stalled until
+    # all prior stores have completed"); disabled, nothing ever defers
+    assert on["Deferred loads"] > 0
+    assert off["Deferred loads"] == 0
+    # both configurations recover correct results via violation flushes
+    assert off["Violation flushes"] > 0
+
+
+def test_ablation_block_predictor(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for kind in ("tournament", "gshare", "static"):
+            cfg = TripsConfig(predictor=PredictorConfig(kind=kind))
+            run = run_trips_workload("tblook01", level="hand", config=cfg)
+            rows.append({"Exit predictor": kind, "Cycles": run.cycles,
+                         "Mispredict flushes":
+                             run.stats.flushes_mispredict})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "ablation_predictor.txt",
+         render_table(rows, "Ablation: next-block predictor (tblook01)"))
+    cycles = {r["Exit predictor"]: r["Cycles"] for r in rows}
+    assert cycles["tournament"] <= cycles["static"]
+
+
+def test_ablation_lsq_area(benchmark, results_dir):
+    def sweep():
+        rows = []
+        for entries in (256, 128, 64):
+            model = AreaModel.prototype().with_lsq_entries(entries)
+            rows.append({
+                "LSQ entries/DT": entries,
+                "DT size (mm2)": model.by_name("DT").size_mm2,
+                "LSQ % of core":
+                    round(100 * model.lsq_fraction_of_core(), 1),
+                "Core area (mm2)":
+                    round(model.processor_core_area(), 1),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    save(results_dir, "ablation_lsq_area.txt",
+         render_table(rows, "Ablation: LSQ sizing (Section 7's area "
+                            "complaint: replicated 256-entry LSQs)"))
+    assert rows[0]["LSQ % of core"] > rows[2]["LSQ % of core"]

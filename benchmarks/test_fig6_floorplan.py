@@ -1,0 +1,18 @@
+"""Figure 6: the chip floorplan and area-by-function breakdown."""
+
+import re
+
+from repro.analysis.floorplan import render_floorplan
+
+from .conftest import save
+
+
+def test_fig6_floorplan(benchmark, results_dir):
+    text = benchmark(render_floorplan)
+    save(results_dir, "fig6_floorplan.txt", text)
+    for tile in ("GT", "RT", "ET", "DT", "IT", "MT", "SDC", "DMA",
+                 "EBC", "C2C", "NT"):
+        assert tile in text
+    values = [float(m) for m in re.findall(r"(\d+\.\d)%", text)]
+    assert abs(sum(values) - 100.0) < 0.5
+    assert "PROC 0" in text and "PROC 1" in text

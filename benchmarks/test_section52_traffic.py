@@ -1,0 +1,59 @@
+"""Section 5.2's occupancy claims, measured.
+
+The paper: "the processor control networks themselves do not have a large
+area impact", "the control protocol overheads are insignificant", and the
+LSQ replication is wasteful "since the maximum occupancy of all LSQs is
+25%".  We measure both on real runs: control-network bit volume vs
+operand-network bit volume, and peak LSQ occupancy.
+"""
+
+from repro.harness import render_table
+from repro.harness.runner import run_trips_workload
+
+from .conftest import save
+
+
+def test_control_traffic_insignificant(benchmark, results_dir):
+    def measure():
+        rows = []
+        for name in ("matrix", "conv", "tblook01"):
+            run = run_trips_workload(name, level="hand")
+            traffic = run.stats.network_traffic()
+            control = sum(v for k, v in traffic.items()
+                          if k not in ("OPN", "GDN"))
+            rows.append({
+                "Workload": name,
+                "OPN bits": traffic["OPN"],
+                "GDN bits": traffic["GDN"],
+                "Control bits (GCN+GSN+GRN+DSN)": control,
+                "Control/OPN": round(control / traffic["OPN"], 3),
+            })
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save(results_dir, "section52_traffic.txt",
+         render_table(rows, "Section 5.2: micronetwork bit volume "
+                            "(control protocols vs data networks)"))
+    for row in rows:
+        # control protocol traffic is a small fraction of operand traffic
+        assert row["Control/OPN"] < 0.25, row["Workload"]
+
+
+def test_lsq_occupancy_claim(benchmark, results_dir):
+    def measure():
+        rows = []
+        for name in ("vadd", "ct", "mgrid"):
+            run = run_trips_workload(
+                name, level="hand" if name != "mgrid" else "tcc")
+            peak = max(dt.lsq.peak_occupancy for dt in run.proc.dts)
+            rows.append({"Workload": name,
+                         "Peak LSQ occupancy": peak,
+                         "% of 256 entries": round(100 * peak / 256, 1)})
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    save(results_dir, "section52_lsq_occupancy.txt",
+         render_table(rows, 'Section 3.5: "maximum occupancy of all LSQs '
+                            'is 25%" — measured peaks'))
+    for row in rows:
+        assert row["% of 256 entries"] <= 30.0, row["Workload"]

@@ -1,0 +1,48 @@
+"""Table 1: TRIPS tile specifications.
+
+Regenerates the per-tile area table from the parametric model and checks
+the derived shape against the paper: ET/MT/DT dominate the chip, control
+tiles are small, 106 tiles of 11 types total.
+"""
+
+from repro.analysis.area import AreaModel
+from repro.harness import render_table, table1_rows
+
+from .conftest import save
+
+
+def test_table1_tiles(benchmark, results_dir):
+    rows = benchmark(table1_rows)
+    text = render_table(
+        [{k: (round(v, 2) if isinstance(v, float) else v)
+          for k, v in r.items()} for r in rows],
+        "Table 1: TRIPS Tile Specifications")
+    save(results_dir, "table1_tiles.txt", text)
+
+    pct = {r["Tile"]: r["% Chip Area"] for r in rows}
+    assert rows[-1]["Tile Count"] == 106
+    assert len(rows) == 12             # 11 tile types + total
+    # paper shape: compute and memory tiles dominate
+    assert pct["ET"] > 25 and pct["MT"] > 28 and pct["DT"] > 18
+    assert pct["GT"] < 3
+
+
+def test_section52_overhead_attributions(benchmark, results_dir):
+    model = AreaModel.prototype()
+
+    def attributions():
+        return {
+            "LSQ share of processor core": model.lsq_fraction_of_core(),
+            "OPN share of processor core": model.opn_fraction_of_processor(),
+            "OCN share of chip": model.ocn_fraction_of_chip(),
+        }
+
+    shares = benchmark(attributions)
+    lines = ["Section 5.2 distributed-design area overheads "
+             "(paper: LSQ ~13%, OPN ~12%, OCN ~14%):"]
+    for k, v in shares.items():
+        lines.append(f"  {k}: {100 * v:.1f}%")
+    save(results_dir, "table1_overheads.txt", "\n".join(lines))
+    assert 0.10 < shares["LSQ share of processor core"] < 0.18
+    assert 0.09 < shares["OPN share of processor core"] < 0.15
+    assert 0.11 < shares["OCN share of chip"] < 0.17

@@ -1,0 +1,27 @@
+"""Table 2: control and data networks.
+
+Regenerates the micronetwork table and cross-checks the OPN's 141-wire
+link against the simulator's own message model.
+"""
+
+from repro.analysis.area import wire_count_check
+from repro.harness import render_table, table2_rows
+
+from .conftest import save
+
+
+def test_table2_networks(benchmark, results_dir):
+    rows = benchmark(table2_rows)
+    text = render_table(rows, "Table 2: TRIPS Control and Data Networks")
+    check = wire_count_check()
+    text += "\n\nOPN link decomposition (cross-check against the message "
+    text += "model):\n  " + ", ".join(f"{k}={v}" for k, v in check.items())
+    save(results_dir, "table2_networks.txt", text)
+
+    names = [r["Network"] for r in rows]
+    assert len(rows) == 8
+    assert any("GDN" in n for n in names)
+    assert any("DSN" in n for n in names)
+    bits = {r["Network"]: r["Bits"] for r in rows}
+    assert bits["Operand Network (OPN)"] == "141 (x8)"
+    assert sum(v for k, v in check.items() if k != "total") == 141

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by pyproject.toml; this file exists so that
+`python setup.py develop` works in offline environments whose setuptools
+predates PEP-660 editable installs (no `wheel` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""repro — a reproduction of the TRIPS prototype processor (MICRO 2006).
+
+Subpackages:
+
+* :mod:`repro.isa` — the EDGE instruction set: formats, blocks, programs.
+* :mod:`repro.asm` — assembler / disassembler for TRIPS assembly text.
+* :mod:`repro.tir` — the tiny imperative IR and DSL used as the C stand-in.
+* :mod:`repro.compiler` — TIR -> TRIPS blocks (scheduling, predication).
+* :mod:`repro.uarch` — the cycle-level tiled processor core (tsim-proc).
+* :mod:`repro.mem` — the NUCA secondary memory system on the OCN.
+* :mod:`repro.baseline` — the Alpha-21264-like conventional comparator.
+* :mod:`repro.analysis` — critical-path attribution, area model, floorplan.
+* :mod:`repro.workloads` — the paper's benchmark suite in TIR form.
+* :mod:`repro.harness` — experiment drivers that regenerate the tables.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,11 @@
+"""Evaluation machinery: critical-path attribution, area model, floorplan.
+
+* :mod:`repro.analysis.critpath` — Fields-et-al.-style critical-path
+  construction and cycle attribution (Table 3, left half).
+* :mod:`repro.analysis.area` — the Table 1 / Table 2 area and wire model.
+* :mod:`repro.analysis.floorplan` — the Figure 6 floorplan renderer.
+"""
+
+from .critpath import CATEGORIES, CriticalPathReport, analyze_critical_path
+
+__all__ = ["CATEGORIES", "CriticalPathReport", "analyze_critical_path"]

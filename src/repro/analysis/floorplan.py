@@ -1,0 +1,74 @@
+"""Figure 6: an ASCII rendering of the TRIPS chip floorplan.
+
+The floorplan follows the logical tile hierarchy directly (Section 5): two
+processor cores on the east side, the 4x10 OCN with its 16 MT banks down
+the middle-west, and the I/O clients (SDC/DMA/EBC/C2C) on the west edge —
+nearest-neighbour connectivity only.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .area import AreaModel
+
+#: each row: (west I/O client or MT column, OCN column, processor tiles)
+_PROC_ROWS = [
+    ["GT", "RT", "RT", "RT", "RT"],
+    ["IT", "DT", "ET", "ET", "ET", "ET"],
+    ["IT", "DT", "ET", "ET", "ET", "ET"],
+    ["IT", "DT", "ET", "ET", "ET", "ET"],
+    ["IT", "DT", "ET", "ET", "ET", "ET"],
+]
+_IO_WEST = ["DMA", "SDC", "EBC", "C2C", "SDC", "DMA"]
+
+
+def render_floorplan(model: AreaModel = None) -> str:
+    """The Figure 6 tile mosaic plus the area-by-function breakdown."""
+    model = model or AreaModel.prototype()
+    lines: List[str] = []
+    lines.append("+" + "-" * 74 + "+")
+    lines.append("|  TRIPS chip floorplan (18.30mm x 18.37mm, 130nm ASIC)"
+                 .ljust(75) + "|")
+    lines.append("+" + "-" * 74 + "+")
+
+    def fmt_proc(rows, label):
+        out = [f"  {label}:"]
+        out.append("    IT " + " ".join(f"{t:>3}" for t in _PROC_ROWS[0]))
+        for row in _PROC_ROWS[1:]:
+            out.append("       " + " ".join(f"{t:>3}" for t in row))
+        return out
+
+    lines.append("  west I/O        OCN (4x10 mesh)           processors")
+    for r in range(6):
+        io = _IO_WEST[r]
+        mts = " ".join(["MT", "MT", "NT"]) if r < 4 else "MT MT NT"
+        lines.append(f"   {io:>4}   |  {mts}  |   "
+                     + ("PROC 0" if r < 3 else "PROC 1"))
+    lines.append("")
+    for label in ("PROC 0", "PROC 1"):
+        lines.extend(fmt_proc(_PROC_ROWS, label))
+        lines.append("")
+
+    lines.append("  area by function:")
+    for row in _function_breakdown(model):
+        lines.append(f"    {row[0]:<28s} {row[1]:5.1f}%")
+    return "\n".join(lines)
+
+
+def _function_breakdown(model: AreaModel) -> List:
+    """Coarse area breakdown by function, as Figure 6 annotates."""
+    t1 = {r["Tile"]: r for r in model.table1() if r["Tile"] != "Chip Total"}
+
+    def pct(*names):
+        return sum(t1[n]["% Chip Area"] for n in names)
+
+    rows = [
+        ("processor cores (GT/RT/IT/DT/ET)", pct("GT", "RT", "IT", "DT", "ET")),
+        ("secondary memory (MT)", pct("MT")),
+        ("OCN interfaces (NT)", pct("NT")),
+        ("I/O controllers (SDC/DMA/EBC/C2C)", pct("SDC", "DMA", "EBC", "C2C")),
+    ]
+    covered = sum(r[1] for r in rows)
+    rows.append(("top-level routing, pads, spare", 100.0 - covered))
+    return rows

@@ -1,0 +1,24 @@
+"""Assembler and disassembler for TRIPS assembly text (TASL).
+
+The textual syntax mirrors the paper's Figure 5a listing::
+
+    .block func1
+        R[0]   read R4 N[1,L] N[2,L]
+        W[8]   write R5
+        N[0]   movi #0 N[1,R]
+        N[1]   teq N[2,P] N[3,P]
+        N[2]   muli_f #4 N[32,L]
+        N[32]  lw L[0] #8 N[33,L]
+        N[34]  sw L[1] #0
+        N[35]  callo exit0 @func1 W[8]
+
+Directives: ``.block NAME`` starts a block, ``.data NAME byte, byte, ...``
+and ``.space NAME n`` reserve data, ``.entry NAME`` sets the entry block,
+``.reg Rn = value`` sets an initial register.  Branches name their targets
+symbolically (``@label`` or ``@exit``); the assembler resolves offsets.
+"""
+
+from .assembler import AsmError, assemble
+from .disassembler import disassemble
+
+__all__ = ["AsmError", "assemble", "disassemble"]

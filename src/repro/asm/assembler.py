@@ -1,0 +1,220 @@
+"""Two-pass assembler: TRIPS assembly text -> :class:`repro.isa.Program`."""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from ..isa import (
+    BY_MNEMONIC,
+    Format,
+    Instruction,
+    OperandKind,
+    ProgramBuilder,
+    ReadInstruction,
+    Target,
+    TripsBlock,
+    WriteInstruction,
+)
+
+
+class AsmError(ValueError):
+    """Syntax or semantic error in assembly text, with line number."""
+
+    def __init__(self, lineno: int, message: str):
+        super().__init__(f"line {lineno}: {message}")
+        self.lineno = lineno
+
+
+_TARGET_RE = re.compile(r"^N\[(\d+),([LRP])\]$")
+_WSLOT_RE = re.compile(r"^W\[(\d+)\]$")
+_SLOT_RE = re.compile(r"^([NRW])\[(\d+)\]$")
+_KINDS = {"L": OperandKind.LEFT, "R": OperandKind.RIGHT, "P": OperandKind.PRED}
+
+
+def _parse_target(token: str, lineno: int) -> Target:
+    m = _TARGET_RE.match(token)
+    if m:
+        return Target(int(m.group(1)), _KINDS[m.group(2)])
+    m = _WSLOT_RE.match(token)
+    if m:
+        return Target(int(m.group(1)), OperandKind.WRITE)
+    raise AsmError(lineno, f"bad target {token!r}")
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AsmError(lineno, f"bad integer {token!r}") from None
+
+
+class _BlockAssembler:
+    """Parses the lines of one ``.block`` into a :class:`TripsBlock`."""
+
+    def __init__(self, name: str):
+        self.block = TripsBlock(name=name)
+
+    def add_line(self, slot_kind: str, slot: int, tokens: List[str],
+                 lineno: int) -> None:
+        if slot_kind == "R":
+            self._add_read(slot, tokens, lineno)
+        elif slot_kind == "W":
+            self._add_write(slot, tokens, lineno)
+        else:
+            self._add_body(slot, tokens, lineno)
+
+    def _add_read(self, slot: int, tokens: List[str], lineno: int) -> None:
+        if len(tokens) < 3 or tokens[0] != "read" or not tokens[1].startswith("R"):
+            raise AsmError(lineno, "read syntax: read Rn TARGET [TARGET]")
+        reg = _parse_int(tokens[1][1:], lineno)
+        targets = [_parse_target(t, lineno) for t in tokens[2:]]
+        if slot in self.block.reads:
+            raise AsmError(lineno, f"duplicate read slot {slot}")
+        self.block.reads[slot] = ReadInstruction(reg, targets)
+
+    def _add_write(self, slot: int, tokens: List[str], lineno: int) -> None:
+        if len(tokens) != 2 or tokens[0] != "write" or not tokens[1].startswith("R"):
+            raise AsmError(lineno, "write syntax: write Rn")
+        if slot in self.block.writes:
+            raise AsmError(lineno, f"duplicate write slot {slot}")
+        self.block.writes[slot] = WriteInstruction(_parse_int(tokens[1][1:], lineno))
+
+    def _add_body(self, slot: int, tokens: List[str], lineno: int) -> None:
+        mnemonic = tokens[0]
+        pred: Optional[bool] = None
+        if mnemonic.endswith("_t"):
+            mnemonic, pred = mnemonic[:-2], True
+        elif mnemonic.endswith("_f"):
+            mnemonic, pred = mnemonic[:-2], False
+        if mnemonic not in BY_MNEMONIC:
+            raise AsmError(lineno, f"unknown mnemonic {mnemonic!r}")
+        opcode = BY_MNEMONIC[mnemonic]
+        rest = tokens[1:]
+
+        kwargs = {}
+        label = None
+        fmt = opcode.format
+        if fmt in (Format.L, Format.S):
+            m = re.match(r"^L\[(\d+)\]$", rest[0]) if rest else None
+            if not m:
+                raise AsmError(lineno, f"{mnemonic} needs L[lsid]")
+            kwargs["lsid"] = int(m.group(1))
+            rest = rest[1:]
+            if rest and rest[0].startswith("#"):
+                kwargs["imm"] = _parse_int(rest[0][1:], lineno)
+                rest = rest[1:]
+        elif fmt is Format.I:
+            if not rest or not rest[0].startswith("#"):
+                raise AsmError(lineno, f"{mnemonic} needs #imm")
+            kwargs["imm"] = _parse_int(rest[0][1:], lineno)
+            rest = rest[1:]
+        elif fmt is Format.C:
+            if not rest or not rest[0].startswith("#"):
+                raise AsmError(lineno, f"{mnemonic} needs #const")
+            kwargs["const"] = _parse_int(rest[0][1:], lineno)
+            rest = rest[1:]
+        elif fmt is Format.B:
+            if rest and rest[0].startswith("exit"):
+                kwargs["exit_no"] = _parse_int(rest[0][4:], lineno)
+                rest = rest[1:]
+            if rest and rest[0].startswith("@"):
+                label = rest[0][1:]
+                rest = rest[1:]
+
+        targets = [_parse_target(t, lineno) for t in rest]
+        try:
+            inst = Instruction(opcode, pred=pred, targets=targets, **kwargs)
+        except ValueError as exc:
+            raise AsmError(lineno, str(exc)) from None
+        if label is not None:
+            inst.label = "@exit" if label == "exit" else label
+        if slot in self.block.body:
+            raise AsmError(lineno, f"duplicate body slot {slot}")
+        self.block.body[slot] = inst
+
+
+def assemble(text: str, base: int = 0x1000, data_base: int = 0x100000):
+    """Assemble ``text`` into a validated :class:`repro.isa.Program`."""
+    builder = ProgramBuilder(base=base, data_base=data_base)
+    current: Optional[_BlockAssembler] = None
+    entry_label: Optional[str] = None
+    data_labels = {}
+    pending_reg: List[Tuple[int, str, int]] = []  # (reg, symbol-or-int, lineno)
+
+    def flush(lineno: int) -> None:
+        nonlocal current
+        if current is not None:
+            try:
+                builder.append(current.block, label=current.block.name)
+            except ValueError as exc:
+                raise AsmError(lineno, str(exc)) from None
+            current = None
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split(";", 1)[0].strip()
+        if not line:
+            continue
+        # Targets like N[1,L] contain no whitespace, so a whitespace split
+        # keeps them whole; trailing commas (used in .data lists) are shed.
+        tokens = [t.rstrip(",") for t in line.split()]
+        tokens = [t for t in tokens if t]
+
+        if tokens[0].startswith("."):
+            directive = tokens[0]
+            if directive == ".block":
+                flush(lineno)
+                if len(tokens) != 2:
+                    raise AsmError(lineno, ".block needs a name")
+                current = _BlockAssembler(tokens[1])
+            elif directive == ".entry":
+                entry_label = tokens[1]
+            elif directive == ".data":
+                flush(lineno)
+                name = tokens[1]
+                payload = bytes(
+                    _parse_int(tok, lineno) & 0xFF for tok in tokens[2:])
+                data_labels[name] = builder.add_data(payload)
+            elif directive == ".word":
+                flush(lineno)
+                name = tokens[1]
+                payload = b"".join(
+                    (_parse_int(tok, lineno) & (2**64 - 1)).to_bytes(8, "little")
+                    for tok in tokens[2:])
+                data_labels[name] = builder.add_data(payload)
+            elif directive == ".space":
+                flush(lineno)
+                data_labels[tokens[1]] = builder.add_data(
+                    bytes(_parse_int(tokens[2], lineno)))
+            elif directive == ".reg":
+                # .reg R3 = 42     or    .reg R3 = &arrayname
+                if len(tokens) != 4 or tokens[2] != "=":
+                    raise AsmError(lineno, ".reg syntax: .reg Rn = value")
+                reg = _parse_int(tokens[1][1:], lineno)
+                pending_reg.append((reg, tokens[3], lineno))
+            else:
+                raise AsmError(lineno, f"unknown directive {directive}")
+            continue
+
+        if current is None:
+            raise AsmError(lineno, "instruction outside .block")
+        m = _SLOT_RE.match(tokens[0])
+        if not m:
+            raise AsmError(lineno, f"expected slot like N[0], got {tokens[0]!r}")
+        current.add_line(m.group(1), int(m.group(2)), tokens[1:], lineno)
+
+    flush(len(text.splitlines()) + 1)
+    program = builder.finish()
+    if entry_label is not None:
+        if entry_label not in program.labels:
+            raise AsmError(0, f"entry label {entry_label!r} undefined")
+        program.entry = program.labels[entry_label]
+    for reg, value, lineno in pending_reg:
+        if value.startswith("&"):
+            name = value[1:]
+            if name not in data_labels:
+                raise AsmError(lineno, f"unknown data symbol {name!r}")
+            program.initial_regs[reg] = data_labels[name]
+        else:
+            program.initial_regs[reg] = _parse_int(value, lineno)
+    return program

@@ -1,0 +1,78 @@
+"""Disassembler: :class:`repro.isa.Program` -> assembly text.
+
+The output re-assembles to an equivalent program (round-trip tested), which
+makes the textual form a reliable interchange format for hand optimization —
+the paper's methodology of editing compiler output by hand and feeding it
+back (Section 5.4) is exactly this loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..isa import EXIT_ADDRESS, Format, Program
+
+
+def disassemble(program: Program) -> str:
+    """Render ``program`` as assembly text accepted by :func:`assemble`."""
+    addr_to_label: Dict[int, str] = {v: k for k, v in program.labels.items()}
+    for i, addr in enumerate(sorted(program.blocks)):
+        addr_to_label.setdefault(addr, f"blk_{addr:x}")
+
+    lines = []
+    entry = addr_to_label.get(program.entry)
+    if entry:
+        lines.append(f".entry {entry}")
+
+    data_names: Dict[int, str] = {}
+    for addr, payload in sorted(program.data.items()):
+        name = f"data_{addr:x}"
+        data_names[addr] = name
+        byte_list = ", ".join(str(b) for b in payload)
+        lines.append(f".data {name} {byte_list}")
+
+    for reg, value in sorted(program.initial_regs.items()):
+        if value in data_names:
+            lines.append(f".reg R{reg} = &{data_names[value]}")
+        else:
+            lines.append(f".reg R{reg} = {value}")
+
+    for addr in sorted(program.blocks):
+        block = program.blocks[addr]
+        lines.append("")
+        lines.append(f".block {addr_to_label[addr]}")
+        for slot in sorted(block.reads):
+            read = block.reads[slot]
+            targets = " ".join(str(t) for t in read.targets)
+            lines.append(f"    R[{slot}] read R{read.reg} {targets}")
+        for slot in sorted(block.writes):
+            lines.append(f"    W[{slot}] write R{block.writes[slot].reg}")
+        for slot in sorted(block.body):
+            lines.append(f"    N[{slot}] {_render(program, addr, block, slot, addr_to_label)}")
+    return "\n".join(lines) + "\n"
+
+
+def _render(program, addr, block, slot, addr_to_label) -> str:
+    inst = block.body[slot]
+    mnemonic = inst.opcode.mnemonic
+    if inst.pred is not None:
+        mnemonic += "_t" if inst.pred else "_f"
+    parts = [mnemonic]
+    fmt = inst.opcode.format
+    if fmt in (Format.L, Format.S):
+        parts.append(f"L[{inst.lsid}]")
+        parts.append(f"#{inst.imm}")
+    elif fmt is Format.I:
+        parts.append(f"#{inst.imm}")
+    elif fmt is Format.C:
+        parts.append(f"#{inst.const}")
+    elif fmt is Format.B:
+        parts.append(f"exit{inst.exit_no}")
+        if inst.opcode.mnemonic in ("bro", "callo"):
+            target = addr + inst.offset
+            if target == EXIT_ADDRESS:
+                parts.append("@exit")
+            else:
+                parts.append(f"@{addr_to_label[target]}")
+    parts.extend(str(t) for t in inst.targets)
+    return " ".join(parts)

@@ -1,0 +1,18 @@
+"""The conventional-uniprocessor comparison point (Section 5.4).
+
+The paper compares TRIPS against a 467MHz Alpha 21264 running Gem-compiled
+code, measured on sim-alpha with a perfect L2 to normalize the memory
+system.  We reproduce the *role* of that baseline: a structurally-faithful
+4-wide out-of-order core (21264-style tournament predictor, 80-entry ROB,
+two L1D ports, 64KB L1D) executing a sequential RISC ISA ("SRISC") lowered
+from the same TIR workloads.
+
+Speedups are computed the paper's way: ratio of cycle counts for the same
+workload, with both machines given a perfect L2.
+"""
+
+from .srisc import SInst, SriscProgram, run_functional
+from .ooo import BaselineConfig, BaselineStats, OooCore
+
+__all__ = ["SInst", "SriscProgram", "run_functional", "BaselineConfig",
+           "BaselineStats", "OooCore"]

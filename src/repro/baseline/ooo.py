@@ -1,0 +1,254 @@
+"""A 4-wide out-of-order uniprocessor timing model (the Alpha 21264 role).
+
+The functional pass (:func:`repro.baseline.srisc.run_functional`) resolves
+the dynamic instruction stream — branch outcomes, memory addresses — and
+this model replays it through a constraint-based OoO timing analysis:
+
+* in-order fetch at ``fetch_width``/cycle, one-bubble taken-branch
+  redirects, and a 21264-style tournament direction predictor whose
+  mispredictions restart fetch after the branch resolves,
+* register renaming expressed as ready-times per architectural register
+  (write-after-write/read never stall, exactly what renaming buys),
+* a finite reorder buffer and per-class functional-unit bandwidth
+  (int ALUs, FP units, and — crucially for the paper's `vadd`/`conv`
+  bandwidth argument — two L1D ports against TRIPS's four DTs),
+* loads check a 64KB 2-way L1D for latency and forward from earlier
+  stores at the stores' issue time (an idealized disambiguator: the 21264's
+  memory speculation was very good),
+* in-order commit at ``commit_width``/cycle.
+
+This is the "timing-first, functional-ahead" style of model; it captures
+dataflow ILP, bandwidth and misprediction effects without modelling wrong-
+path execution (second-order for these kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from ..uarch.caches import CacheBank
+from .srisc import DynInst, FunctionalResult, SriscProgram, run_functional
+
+
+@dataclass
+class BaselineConfig:
+    fetch_width: int = 4
+    frontend_depth: int = 4        # fetch -> rename/queue latency
+    rob_entries: int = 80
+    int_alus: int = 4
+    fp_units: int = 2
+    mem_ports: int = 2             # the 21264's two L1D ports
+    commit_width: int = 4
+    mispredict_penalty: int = 7
+    taken_bubble: int = 1
+    l1d_kb: int = 64
+    l1d_assoc: int = 2
+    line_bytes: int = 64
+    l1_hit_cycles: int = 3
+    l2_hit_cycles: int = 12        # matched to the TRIPS config
+    perfect_l2: bool = True
+    int_mul_latency: int = 7
+    int_div_latency: int = 20
+    fp_latency: int = 4
+    fp_div_latency: int = 12
+    # branch predictor budgets (local/global/choice)
+    local_entries: int = 1024
+    global_entries: int = 4096
+    #: the 21264 splits its integer units into two clusters; a result
+    #: consumed in the other cluster pays one extra bypass cycle
+    cluster_penalty: int = 1
+    clustered: bool = True
+
+
+@dataclass
+class BaselineStats:
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    mispredicts: int = 0
+    l1d_hits: int = 0
+    l1d_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class _Tournament:
+    """21264-style local/global/choice direction predictor."""
+
+    def __init__(self, config: BaselineConfig):
+        # counters start weakly-taken: backward loop branches predict
+        # correctly from the first encounter, as a warm predictor would
+        self.local_hist = [0] * config.local_entries
+        self.local_pht = [2] * config.local_entries
+        self.global_pht = [2] * config.global_entries
+        self.choice = [1] * config.global_entries
+        self.ghist = 0
+        self.n_local = config.local_entries
+        self.n_global = config.global_entries
+
+    def predict(self, pc: int) -> bool:
+        lh = self.local_hist[pc % self.n_local]
+        local = self.local_pht[(pc ^ lh) % self.n_local] >= 2
+        glob = self.global_pht[(pc ^ self.ghist) % self.n_global] >= 2
+        use_global = self.choice[(pc ^ self.ghist) % self.n_global] >= 2
+        return glob if use_global else local
+
+    def update(self, pc: int, taken: bool) -> None:
+        lh = self.local_hist[pc % self.n_local]
+        li = (pc ^ lh) % self.n_local
+        gi = (pc ^ self.ghist) % self.n_global
+        local_ok = (self.local_pht[li] >= 2) == taken
+        global_ok = (self.global_pht[gi] >= 2) == taken
+        if local_ok != global_ok:
+            self.choice[gi] = min(3, self.choice[gi] + 1) if global_ok \
+                else max(0, self.choice[gi] - 1)
+        self.local_pht[li] = min(3, self.local_pht[li] + 1) if taken \
+            else max(0, self.local_pht[li] - 1)
+        self.global_pht[gi] = min(3, self.global_pht[gi] + 1) if taken \
+            else max(0, self.global_pht[gi] - 1)
+        self.local_hist[pc % self.n_local] = ((lh << 1) | taken) & 0x3FF
+        self.ghist = ((self.ghist << 1) | taken) & 0xFFF
+
+
+class _SlotTable:
+    """Earliest-cycle-with-free-slot finder for a W-wide resource."""
+
+    def __init__(self, width: int):
+        self.width = width
+        self.used: Dict[int, int] = {}
+
+    def reserve(self, earliest: int) -> int:
+        t = earliest
+        while self.used.get(t, 0) >= self.width:
+            t += 1
+        self.used[t] = self.used.get(t, 0) + 1
+        return t
+
+
+class OooCore:
+    """Replay a resolved SRISC stream through the timing constraints."""
+
+    def __init__(self, config: BaselineConfig = None):
+        self.config = config or BaselineConfig()
+
+    def run(self, program: SriscProgram,
+            functional: FunctionalResult = None) -> BaselineStats:
+        cfg = self.config
+        if functional is None:
+            functional = run_functional(program)
+        stream = functional.stream
+        stats = BaselineStats(instructions=len(stream))
+        bpred = _Tournament(cfg)
+        cache = CacheBank(cfg.l1d_kb * 1024, cfg.l1d_assoc, cfg.line_bytes)
+
+        int_slots = _SlotTable(cfg.int_alus)
+        fp_slots = _SlotTable(cfg.fp_units)
+        mem_slots = _SlotTable(cfg.mem_ports)
+        commit_slots = _SlotTable(cfg.commit_width)
+        fetch_slots = _SlotTable(cfg.fetch_width)
+
+        reg_ready = [0] * 64
+        reg_cluster = [0] * 64           # which cluster produced the value
+        store_visible: Dict[int, int] = {}   # 8-byte granule -> data time
+        commit_t: List[int] = []
+        fetch_floor = 0
+
+        for i, rec in enumerate(stream):
+            inst = rec.inst
+            fetch = fetch_slots.reserve(fetch_floor)
+            dispatch = fetch + cfg.frontend_depth
+            if len(commit_t) >= cfg.rob_entries:
+                dispatch = max(dispatch, commit_t[-cfg.rob_entries])
+
+            # 21264-style clustering: integer instructions steer to one of
+            # two clusters; consuming a value produced by the other
+            # cluster costs an extra bypass cycle
+            cluster = i & 1
+            ready = dispatch
+
+            def src_ready(reg: int) -> int:
+                t = reg_ready[reg]
+                if cfg.clustered and reg_cluster[reg] != cluster and t > 0:
+                    t += cfg.cluster_penalty
+                return t
+
+            if inst.ra >= 0:
+                ready = max(ready, src_ready(inst.ra))
+            if inst.rb is not None and inst.rb >= 0:
+                ready = max(ready, src_ready(inst.rb))
+
+            op = inst.op
+            if op in ("ld", "st"):
+                if op == "ld":
+                    for g in _granules(rec.address, inst.size):
+                        ready = max(ready, store_visible.get(g, 0))
+                issue = mem_slots.reserve(ready)
+                if op == "ld":
+                    if cache.lookup(rec.address):
+                        stats.l1d_hits += 1
+                        latency = cfg.l1_hit_cycles
+                    else:
+                        stats.l1d_misses += 1
+                        latency = cfg.l1_hit_cycles + cfg.l2_hit_cycles
+                        cache.fill(rec.address)
+                    wb = issue + latency
+                else:
+                    wb = issue + 1
+                    cache.fill(rec.address)
+                    for g in _granules(rec.address, inst.size):
+                        store_visible[g] = wb
+            elif inst.is_fp:
+                issue = fp_slots.reserve(ready)
+                latency = cfg.fp_div_latency if op == "fdiv" \
+                    else cfg.fp_latency
+                wb = issue + latency
+            else:
+                issue = int_slots.reserve(ready)
+                if op == "mul":
+                    latency = cfg.int_mul_latency
+                elif op in ("div", "rem"):
+                    latency = cfg.int_div_latency
+                else:
+                    latency = 1
+                wb = issue + latency
+
+            if inst.rd >= 0:
+                reg_ready[inst.rd] = wb
+                reg_cluster[inst.rd] = cluster
+
+            # control flow: redirects and mispredicts gate later fetch
+            if op in ("bz", "bnz"):
+                stats.branches += 1
+                predicted = bpred.predict(rec.index)
+                bpred.update(rec.index, rec.taken)
+                if predicted != rec.taken:
+                    stats.mispredicts += 1
+                    fetch_floor = max(fetch_floor,
+                                      wb + cfg.mispredict_penalty)
+                elif rec.taken:
+                    fetch_floor = max(fetch_floor, fetch + cfg.taken_bubble)
+            elif op == "jmp":
+                fetch_floor = max(fetch_floor, fetch + cfg.taken_bubble)
+
+            prev_commit = commit_t[-1] if commit_t else 0
+            commit_t.append(commit_slots.reserve(max(wb, prev_commit)))
+
+        stats.cycles = (commit_t[-1] + 1) if commit_t else 0
+        return stats
+
+
+def _granules(address: int, size: int):
+    return range(address >> 3, (address + size - 1 >> 3) + 1)
+
+
+def run_baseline(program: SriscProgram, config: BaselineConfig = None):
+    """Convenience: functional + timing in one call.
+
+    Returns (FunctionalResult, BaselineStats).
+    """
+    functional = run_functional(program)
+    stats = OooCore(config).run(program, functional)
+    return functional, stats

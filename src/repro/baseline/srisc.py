@@ -1,0 +1,193 @@
+"""SRISC: the sequential RISC ISA the baseline core executes.
+
+A deliberately conventional load/store ISA — 64 registers, three-operand
+ALU ops (register or immediate second source), sized loads/stores, compare
+ops producing 0/1, conditional branches on a register, and ``halt``.
+Operator semantics are the shared 64-bit ones from
+:mod:`repro.tir.semantics`, so SRISC runs produce bit-identical results to
+the interpreter and the TRIPS simulators.
+
+:func:`run_functional` executes a program in order and returns both the
+final architectural state and the *dynamic instruction stream* (with
+resolved branch outcomes and memory addresses), which the timing model in
+:mod:`repro.baseline.ooo` replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..mem.backing import BackingStore
+from ..tir import semantics
+from ..tir.ir import MASK64, bits_to_int
+
+NUM_REGS = 64
+
+#: ALU operator vocabulary = the TIR binops plus unary forms.
+UNARY_OPS = {"not", "neg", "itof", "ftoi", "mov"}
+#: branch / control ops.
+CONTROL_OPS = {"bz", "bnz", "jmp", "halt"}
+
+
+class SriscError(RuntimeError):
+    pass
+
+
+@dataclass
+class SInst:
+    """One SRISC instruction.
+
+    * ALU: ``op rd, ra, rb``  or  ``op rd, ra, #imm`` (rb None)
+    * ``li rd, #imm``  — load a 64-bit literal
+    * ``ld<size> rd, [ra + #imm]`` (``signed`` picks sign extension)
+    * ``st<size> rb -> [ra + #imm]``
+    * ``bz/bnz ra, label`` / ``jmp label`` / ``halt``
+    """
+
+    op: str
+    rd: int = -1
+    ra: int = -1
+    rb: Optional[int] = None
+    imm: int = 0
+    size: int = 0
+    signed: bool = False
+    label: Optional[str] = None
+
+    @property
+    def is_load(self) -> bool:
+        return self.op == "ld"
+
+    @property
+    def is_store(self) -> bool:
+        return self.op == "st"
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in CONTROL_OPS
+
+    @property
+    def is_fp(self) -> bool:
+        return self.op.startswith("f") or self.op in ("itof", "ftoi")
+
+    def __str__(self) -> str:
+        if self.op == "li":
+            return f"li r{self.rd}, #{self.imm}"
+        if self.op == "ld":
+            return f"ld{self.size} r{self.rd}, [r{self.ra}+{self.imm}]"
+        if self.op == "st":
+            return f"st{self.size} r{self.rb} -> [r{self.ra}+{self.imm}]"
+        if self.op in ("bz", "bnz"):
+            return f"{self.op} r{self.ra}, {self.label}"
+        if self.op == "jmp":
+            return f"jmp {self.label}"
+        if self.op == "halt":
+            return "halt"
+        src = f"r{self.rb}" if self.rb is not None else f"#{self.imm}"
+        if self.op in UNARY_OPS:
+            return f"{self.op} r{self.rd}, r{self.ra}"
+        return f"{self.op} r{self.rd}, r{self.ra}, {src}"
+
+
+@dataclass
+class SriscProgram:
+    insts: List[SInst] = field(default_factory=list)
+    labels: Dict[str, int] = field(default_factory=dict)
+    var_regs: Dict[str, int] = field(default_factory=dict)
+    array_addrs: Dict[str, int] = field(default_factory=dict)
+    data: Dict[int, bytes] = field(default_factory=dict)
+    initial_regs: Dict[int, int] = field(default_factory=dict)
+
+    def resolve(self) -> None:
+        """Turn label references into instruction indices (imm field)."""
+        for inst in self.insts:
+            if inst.label is not None:
+                if inst.label not in self.labels:
+                    raise SriscError(f"undefined label {inst.label!r}")
+                inst.imm = self.labels[inst.label]
+
+
+@dataclass
+class DynInst:
+    """One executed instruction, for the timing model's replay."""
+
+    index: int                  # static instruction index
+    inst: SInst
+    address: int = -1           # loads/stores: effective address
+    taken: bool = False         # branches: outcome
+    next_index: int = -1        # architectural successor
+
+
+@dataclass
+class FunctionalResult:
+    regs: List[int]
+    memory: BackingStore
+    stream: List[DynInst]
+    dynamic_count: int
+
+
+def run_functional(program: SriscProgram,
+                   max_insts: int = 20_000_000,
+                   record_stream: bool = True) -> FunctionalResult:
+    """Execute in order; optionally record the dynamic stream."""
+    program.resolve()
+    regs = [0] * NUM_REGS
+    for reg, value in program.initial_regs.items():
+        regs[reg] = value & MASK64
+    memory = BackingStore()
+    for addr, payload in program.data.items():
+        memory.write_bytes(addr, payload)
+    stream: List[DynInst] = []
+    pc = 0
+    count = 0
+    insts = program.insts
+    while True:
+        if count >= max_insts:
+            raise SriscError(f"instruction budget {max_insts} exhausted")
+        inst = insts[pc]
+        count += 1
+        rec = DynInst(index=pc, inst=inst) if record_stream else None
+        next_pc = pc + 1
+        op = inst.op
+        if op == "halt":
+            if rec is not None:
+                rec.next_index = -1
+                stream.append(rec)
+            break
+        if op == "li":
+            regs[inst.rd] = inst.imm & MASK64
+        elif op == "ld":
+            address = (regs[inst.ra] + inst.imm) & MASK64
+            raw = memory.read(address, inst.size)
+            regs[inst.rd] = semantics.truncate_load(raw, inst.size,
+                                                    inst.signed)
+            if rec is not None:
+                rec.address = address
+        elif op == "st":
+            address = (regs[inst.ra] + inst.imm) & MASK64
+            memory.write(address, regs[inst.rb], inst.size)
+            if rec is not None:
+                rec.address = address
+        elif op in ("bz", "bnz"):
+            taken = (regs[inst.ra] == 0) == (op == "bz")
+            if taken:
+                next_pc = inst.imm
+            if rec is not None:
+                rec.taken = taken
+        elif op == "jmp":
+            next_pc = inst.imm
+            if rec is not None:
+                rec.taken = True
+        elif op == "mov":
+            regs[inst.rd] = regs[inst.ra]
+        elif op in ("not", "neg", "itof", "ftoi"):
+            regs[inst.rd] = semantics.unop(op, regs[inst.ra])
+        else:
+            b = regs[inst.rb] if inst.rb is not None else inst.imm & MASK64
+            regs[inst.rd] = semantics.binop(op, regs[inst.ra], b)
+        if rec is not None:
+            rec.next_index = next_pc
+            stream.append(rec)
+        pc = next_pc
+    return FunctionalResult(regs=regs, memory=memory, stream=stream,
+                            dynamic_count=count)

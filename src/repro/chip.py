@@ -1,0 +1,114 @@
+"""The full TRIPS chip: two processor cores + the shared memory system.
+
+The prototype chip carries two complete processors that "can communicate
+through the secondary memory system, in which the On-Chip Network (OCN) is
+embedded" (Section 3).  :class:`TripsChip` composes two
+:class:`~repro.uarch.proc.TripsProcessor` cores over one
+:class:`~repro.mem.sysmem.SecondaryMemory` and one backing store:
+processor 0 owns OCN ports 0-3, processor 1 ports 4-7, and the chip's run
+loop advances both cores and the OCN in lockstep.
+
+Inter-processor communication happens exactly as on the silicon: through
+memory (stores become visible at block commit; there is no inter-core
+forwarding path) or through programmed DMA transfers between physical
+regions.  Programs for the two cores must occupy disjoint address ranges
+(the chip has a single physical address space); shared data is simply
+data both programs address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .isa import Program
+from .mem.backing import BackingStore
+from .mem.sysmem import SecondaryMemory, SysMemConfig
+from .uarch.config import TripsConfig
+from .uarch.proc import ProcStats, TripsProcessor
+
+
+class ChipError(RuntimeError):
+    pass
+
+
+@dataclass
+class ChipStats:
+    cycles: int = 0
+    per_core: List[ProcStats] = None
+    ocn_requests: int = 0
+    dram_accesses: int = 0
+
+
+class TripsChip:
+    """Two cores, one memory system."""
+
+    def __init__(self, program0: Program, program1: Optional[Program] = None,
+                 config: Optional[TripsConfig] = None,
+                 memory_mode: str = "shared_l2",
+                 max_cycles: int = 5_000_000):
+        config = config or TripsConfig(perfect_l2=False)
+        if config.perfect_l2:
+            config = config.with_overrides(perfect_l2=False)
+        self.memory = BackingStore()
+        self.sysmem = SecondaryMemory(
+            SysMemConfig(mode=memory_mode, dram_cycles=config.dram_cycles),
+            backing=self.memory)
+        self.max_cycles = max_cycles
+
+        self._check_disjoint(program0, program1)
+        self.cores: List[TripsProcessor] = []
+        for index, program in enumerate([program0, program1]):
+            if program is None:
+                continue
+            self.cores.append(TripsProcessor(
+                program, config=config, memory=self.memory,
+                sysmem=self.sysmem, sysmem_port_base=4 * index))
+        self.cycle = 0
+
+    @staticmethod
+    def _check_disjoint(program0: Program,
+                        program1: Optional[Program]) -> None:
+        if program1 is None:
+            return
+
+        def spans(program):
+            out = []
+            for addr, blk in program.blocks.items():
+                out.append((addr, addr + blk.size_bytes))
+            return out
+
+        for a0, e0 in spans(program0):
+            for a1, e1 in spans(program1):
+                if a0 < e1 and a1 < e0:
+                    raise ChipError(
+                        f"code regions overlap: {a0:#x}-{e0:#x} vs "
+                        f"{a1:#x}-{e1:#x}; compile the second program at a "
+                        "different base")
+
+    # ------------------------------------------------------------------
+    def run(self) -> ChipStats:
+        """Run both cores to completion."""
+        while not all(core.halted for core in self.cores):
+            if self.cycle >= self.max_cycles:
+                raise ChipError(f"chip cycle budget {self.max_cycles} "
+                                "exhausted")
+            for core in self.cores:
+                if not core.halted:
+                    core.step()
+            self.sysmem.step()
+            for core in self.cores:
+                core.poll_sysmem()
+            self.cycle += 1
+        for core in self.cores:
+            core.stats.cycles = core.cycle
+            core.stats.opn_messages = core.opn.stats.injected
+        return ChipStats(
+            cycles=self.cycle,
+            per_core=[core.stats for core in self.cores],
+            ocn_requests=self.sysmem.stats["requests"],
+            dram_accesses=self.sysmem.stats["dram_accesses"])
+
+    def dma_copy(self, src: int, dst: int, nbytes: int) -> int:
+        """Programmed DMA between physical regions (an OCN client)."""
+        return self.sysmem.dma_copy(src, dst, nbytes)

@@ -1,0 +1,481 @@
+"""Structured TIR -> control-flow graph of linear blocks.
+
+The CFG is the compiler's mid-level form.  Each :class:`CfgBlock` holds a
+list of linear statements (``Assign``/``Store``/``PredRegion``) and exactly
+one terminator.  Level-dependent transforms happen here:
+
+* **tcc**: plain structured lowering — loops become head-test + body +
+  back-jump, ``If`` becomes diamond control flow.
+* **hand**: ``If`` whose arms are simple becomes a :class:`PredRegion`
+  (if-conversion / hyperblock formation), loops are rotated (guard block +
+  body block ending in a predicated back-branch), ``For.unroll`` hints are
+  honoured, and single-predecessor jump chains are merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from ..tir.ir import (
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Stmt,
+    Store,
+    TirError,
+    TirProgram,
+    UnOp,
+    V,
+    Var,
+    While,
+    bits_to_int,
+)
+
+
+class CompileError(ValueError):
+    """The compiler cannot translate this program."""
+
+
+@dataclass
+class PredRegion(Stmt):
+    """An if-converted region: both arms are predicated onto one block.
+
+    Arms may contain only ``Assign`` and ``Store`` statements (the
+    if-converter guarantees this).
+    """
+
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+
+
+# --- terminators -------------------------------------------------------
+@dataclass
+class Jump:
+    target: str
+
+
+@dataclass
+class CondJump:
+    cond: Expr
+    if_true: str
+    if_false: str
+
+
+@dataclass
+class Halt:
+    pass
+
+
+Terminator = Union[Jump, CondJump, Halt]
+
+
+@dataclass
+class CfgBlock:
+    label: str
+    stmts: List[Stmt] = field(default_factory=list)
+    term: Terminator = field(default_factory=Halt)
+
+
+@dataclass
+class Cfg:
+    """An ordered CFG; the first block is the entry."""
+
+    blocks: List[CfgBlock] = field(default_factory=list)
+
+    @property
+    def entry(self) -> CfgBlock:
+        return self.blocks[0]
+
+    def by_label(self) -> Dict[str, CfgBlock]:
+        return {b.label: b for b in self.blocks}
+
+    def successors(self, block: CfgBlock) -> List[str]:
+        if isinstance(block.term, Jump):
+            return [block.term.target]
+        if isinstance(block.term, CondJump):
+            return [block.term.if_true, block.term.if_false]
+        return []
+
+
+# ----------------------------------------------------------------------
+class _Lowerer:
+    def __init__(self, name: str, level: str):
+        self.level = level
+        self.prefix = name
+        self.counter = 0
+        self.cfg = Cfg()
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"{self.prefix}_{hint}{self.counter}"
+
+    def new_block(self, hint: str) -> CfgBlock:
+        block = CfgBlock(self.fresh(hint))
+        self.cfg.blocks.append(block)
+        return block
+
+    # ------------------------------------------------------------------
+    def lower(self, body: Sequence[Stmt]) -> Cfg:
+        entry = CfgBlock(f"{self.prefix}_entry")
+        self.cfg.blocks.append(entry)
+        last = self._lower_stmts(body, entry)
+        last.term = Halt()
+        return self.cfg
+
+    def _lower_stmts(self, stmts: Sequence[Stmt], current: CfgBlock) -> CfgBlock:
+        for stmt in stmts:
+            if isinstance(stmt, (Assign, Store)):
+                current.stmts.append(stmt)
+            elif isinstance(stmt, If):
+                current = self._lower_if(stmt, current)
+            elif isinstance(stmt, For):
+                current = self._lower_for(stmt, current)
+            elif isinstance(stmt, While):
+                current = self._lower_while(stmt, current)
+            else:
+                raise CompileError(f"cannot lower {stmt!r}")
+        return current
+
+    # ------------------------------------------------------------------
+    @property
+    def _optimized(self) -> bool:
+        """Loop rotation / unrolling / merging apply at these levels."""
+        return self.level in ("hand", "baseline")
+
+    def _lower_if(self, stmt: If, current: CfgBlock) -> CfgBlock:
+        if self.level == "hand" and _simple_arms(stmt.then_body) \
+                and _simple_arms(stmt.else_body):
+            current.stmts.append(
+                PredRegion(stmt.cond, list(stmt.then_body),
+                           list(stmt.else_body)))
+            return current
+        then_blk = self.new_block("then")
+        else_blk = self.new_block("else")
+        join_blk = self.new_block("join")
+        current.term = CondJump(stmt.cond, then_blk.label, else_blk.label)
+        then_end = self._lower_stmts(stmt.then_body, then_blk)
+        then_end.term = Jump(join_blk.label)
+        else_end = self._lower_stmts(stmt.else_body, else_blk)
+        else_end.term = Jump(join_blk.label)
+        return join_blk
+
+    # ------------------------------------------------------------------
+    def _lower_for(self, stmt: For, current: CfgBlock) -> CfgBlock:
+        # Evaluate the bounds once.  The stop bound lives in a temporary
+        # unless it is a constant (cheap to rematerialize).
+        current.stmts.append(Assign(stmt.var, stmt.start))
+        if isinstance(stmt.stop, Const):
+            stop_expr: Expr = stmt.stop
+        else:
+            stop_name = self.fresh("stop_")
+            current.stmts.append(Assign(stop_name, stmt.stop))
+            stop_expr = V(stop_name)
+        test = BinOp("lt" if stmt.step > 0 else "gt", V(stmt.var), stop_expr)
+
+        unroll = stmt.unroll if self._optimized else 1
+        if unroll > 1 and not self._unroll_is_safe(stmt, unroll):
+            unroll = 1
+        step_stmt = Assign(stmt.var, V(stmt.var) + stmt.step)
+        iteration = list(stmt.body) + [step_stmt]
+
+        # Full unroll: trip count equals the unroll hint -> the loop
+        # disappears into straight-line code with constant induction values
+        # (they then fold into load/store immediates).
+        if unroll > 1 and self._trip_count(stmt) == unroll \
+                and stmt.var not in _assigned_vars(stmt.body):
+            start = bits_to_int(stmt.start.bits)
+            tail = current
+            for k in range(unroll):
+                value = Const(start + k * stmt.step)
+                copies = [_subst_stmt(s, stmt.var, value)
+                          for s in stmt.body]
+                tail = self._lower_stmts(copies, tail)
+            tail.stmts.append(Assign(stmt.var, stmt.stop))
+            return tail
+
+        if self._optimized:
+            # Rotated loop: guard, then a body block that ends with a
+            # predicated back-branch — each iteration is one block.
+            body_blk = self.new_block("loop")
+            exit_blk = self.new_block("done")
+            current.term = CondJump(test, body_blk.label, exit_blk.label)
+            if unroll > 1 and stmt.var not in _assigned_vars(stmt.body):
+                # Copy k of the body sees (var + k*step) directly instead
+                # of a serial chain of increments — the induction variable
+                # stops being a cross-copy dependence.
+                tail = body_blk
+                for k in range(unroll):
+                    if k == 0:
+                        copy = list(stmt.body)
+                    else:
+                        copy = [_subst_stmt(s, stmt.var,
+                                            V(stmt.var) + k * stmt.step)
+                                for s in stmt.body]
+                    tail = self._lower_stmts(copy, tail)
+                tail = self._lower_stmts(
+                    [Assign(stmt.var, V(stmt.var) + unroll * stmt.step)],
+                    tail)
+            else:
+                tail = body_blk
+                for _ in range(unroll):
+                    tail = self._lower_stmts(iteration, tail)
+            tail.term = CondJump(test, body_blk.label, exit_blk.label)
+            return exit_blk
+
+        head_blk = self.new_block("head")
+        body_blk = self.new_block("body")
+        exit_blk = self.new_block("done")
+        current.term = Jump(head_blk.label)
+        head_blk.term = CondJump(test, body_blk.label, exit_blk.label)
+        tail = self._lower_stmts(iteration, body_blk)
+        tail.term = Jump(head_blk.label)
+        return exit_blk
+
+    @staticmethod
+    def _trip_count(stmt: For) -> Optional[int]:
+        """Static trip count, or None when the bounds are dynamic."""
+        if not (isinstance(stmt.start, Const) and isinstance(stmt.stop, Const)):
+            return None
+        start = bits_to_int(stmt.start.bits)
+        stop = bits_to_int(stmt.stop.bits)
+        span = stop - start if stmt.step > 0 else start - stop
+        if span <= 0:
+            return 0
+        trips, rem = divmod(span, abs(stmt.step))
+        return trips if rem == 0 else None
+
+    @classmethod
+    def _unroll_is_safe(cls, stmt: For, unroll: int) -> bool:
+        """Unrolling is honoured only for provably divisible trip counts."""
+        trips = cls._trip_count(stmt)
+        return trips is not None and trips > 0 and trips % unroll == 0
+
+    # ------------------------------------------------------------------
+    def _lower_while(self, stmt: While, current: CfgBlock) -> CfgBlock:
+        if self._optimized:
+            body_blk = self.new_block("wloop")
+            exit_blk = self.new_block("wdone")
+            current.term = CondJump(stmt.cond, body_blk.label, exit_blk.label)
+            tail = self._lower_stmts(stmt.body, body_blk)
+            tail.term = CondJump(stmt.cond, body_blk.label, exit_blk.label)
+            return exit_blk
+        head_blk = self.new_block("whead")
+        body_blk = self.new_block("wbody")
+        exit_blk = self.new_block("wdone")
+        current.term = Jump(head_blk.label)
+        head_blk.term = CondJump(stmt.cond, body_blk.label, exit_blk.label)
+        tail = self._lower_stmts(stmt.body, body_blk)
+        tail.term = Jump(head_blk.label)
+        return exit_blk
+
+
+def _simple_arms(stmts: Sequence[Stmt]) -> bool:
+    return all(isinstance(s, (Assign, Store)) for s in stmts)
+
+
+# ----------------------------------------------------------------------
+# Expression / statement substitution (used by the unroller)
+# ----------------------------------------------------------------------
+def _subst_expr(expr: Expr, var: str, replacement: Expr) -> Expr:
+    if isinstance(expr, Var):
+        return replacement if expr.name == var else expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _subst_expr(expr.a, var, replacement),
+                     _subst_expr(expr.b, var, replacement))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _subst_expr(expr.a, var, replacement))
+    if isinstance(expr, Load):
+        return Load(expr.array, _subst_expr(expr.index, var, replacement))
+    return expr
+
+
+def _subst_stmt(stmt: Stmt, var: str, replacement: Expr) -> Stmt:
+    if isinstance(stmt, Assign):
+        return Assign(stmt.var, _subst_expr(stmt.expr, var, replacement))
+    if isinstance(stmt, Store):
+        return Store(stmt.array, _subst_expr(stmt.index, var, replacement),
+                     _subst_expr(stmt.value, var, replacement))
+    if isinstance(stmt, If):
+        return If(_subst_expr(stmt.cond, var, replacement),
+                  [_subst_stmt(s, var, replacement) for s in stmt.then_body],
+                  [_subst_stmt(s, var, replacement) for s in stmt.else_body])
+    if isinstance(stmt, For):
+        if stmt.var == var:   # shadowing: the inner loop redefines it
+            return stmt
+        return For(stmt.var, _subst_expr(stmt.start, var, replacement),
+                   _subst_expr(stmt.stop, var, replacement), stmt.step,
+                   [_subst_stmt(s, var, replacement) for s in stmt.body],
+                   unroll=stmt.unroll)
+    if isinstance(stmt, While):
+        return While(_subst_expr(stmt.cond, var, replacement),
+                     [_subst_stmt(s, var, replacement) for s in stmt.body])
+    raise CompileError(f"cannot substitute into {stmt!r}")
+
+
+def _assigned_vars(stmts: Sequence[Stmt]) -> Set[str]:
+    out: Set[str] = set()
+    for stmt in stmts:
+        _, defs = stmt_uses_defs(stmt) if isinstance(
+            stmt, (Assign, Store, PredRegion)) else (set(), set())
+        out |= defs
+        if isinstance(stmt, If):
+            out |= _assigned_vars(stmt.then_body)
+            out |= _assigned_vars(stmt.else_body)
+        elif isinstance(stmt, (For, While)):
+            out |= _assigned_vars(stmt.body)
+            if isinstance(stmt, For):
+                out.add(stmt.var)
+    return out
+
+
+# ----------------------------------------------------------------------
+def lower_to_cfg(program: TirProgram, level: str) -> Cfg:
+    """Lower ``program.body`` at the given level and clean the result."""
+    if level not in ("tcc", "hand", "baseline"):
+        raise CompileError(f"unknown level {level!r}")
+    cfg = _Lowerer(program.name, level).lower(program.body)
+    _prune_unreachable(cfg)
+    if level in ("hand", "baseline"):
+        _merge_chains(cfg)
+        _prune_unreachable(cfg)
+    return cfg
+
+
+def _prune_unreachable(cfg: Cfg) -> None:
+    by_label = cfg.by_label()
+    reachable: Set[str] = set()
+    stack = [cfg.entry.label]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(cfg.successors(by_label[label]))
+    cfg.blocks = [b for b in cfg.blocks if b.label in reachable]
+
+
+#: soft cap on merged-block size; real limits are enforced by the block
+#: former, which splits as needed, but merging beyond this only splits again.
+_MERGE_STMT_LIMIT = 48
+
+
+def _merge_chains(cfg: Cfg) -> None:
+    """Fold ``A -> Jump(B)`` into A when B has no other predecessors."""
+    changed = True
+    while changed:
+        changed = False
+        by_label = cfg.by_label()
+        pred_count: Dict[str, int] = {b.label: 0 for b in cfg.blocks}
+        for block in cfg.blocks:
+            for succ in cfg.successors(block):
+                pred_count[succ] += 1
+        for block in cfg.blocks:
+            if not isinstance(block.term, Jump):
+                continue
+            target = block.term.target
+            victim = by_label.get(target)
+            if victim is None or victim is block:
+                continue
+            if pred_count[target] != 1 or victim is cfg.entry:
+                continue
+            if len(block.stmts) + len(victim.stmts) > _MERGE_STMT_LIMIT:
+                continue
+            block.stmts.extend(victim.stmts)
+            block.term = victim.term
+            cfg.blocks.remove(victim)
+            changed = True
+            break
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+def _expr_uses(expr: Expr, acc: Set[str]) -> None:
+    if isinstance(expr, Var):
+        acc.add(expr.name)
+    elif isinstance(expr, BinOp):
+        _expr_uses(expr.a, acc)
+        _expr_uses(expr.b, acc)
+    elif isinstance(expr, UnOp):
+        _expr_uses(expr.a, acc)
+    elif isinstance(expr, Load):
+        _expr_uses(expr.index, acc)
+
+
+def stmt_uses_defs(stmt: Stmt) -> Tuple[Set[str], Set[str]]:
+    """(used, defined) scalar names for one linear statement.
+
+    A :class:`PredRegion` assignment made in only one arm counts as both a
+    use (the merge needs the old value) and a def.
+    """
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    if isinstance(stmt, Assign):
+        _expr_uses(stmt.expr, uses)
+        defs.add(stmt.var)
+    elif isinstance(stmt, Store):
+        _expr_uses(stmt.index, uses)
+        _expr_uses(stmt.value, uses)
+    elif isinstance(stmt, PredRegion):
+        _expr_uses(stmt.cond, uses)
+        then_defs: Set[str] = set()
+        else_defs: Set[str] = set()
+        for arm, arm_defs in ((stmt.then_body, then_defs),
+                              (stmt.else_body, else_defs)):
+            local: Set[str] = set()
+            for s in arm:
+                u, d = stmt_uses_defs(s)
+                uses |= (u - local)   # arm-local def-before-use stays local
+                local |= d
+                arm_defs |= d
+        one_sided = then_defs ^ else_defs
+        uses |= one_sided
+        defs |= then_defs | else_defs
+    else:
+        raise CompileError(f"not a linear statement: {stmt!r}")
+    return uses, defs
+
+
+def block_uses_defs(block: CfgBlock) -> Tuple[Set[str], Set[str]]:
+    """Upward-exposed uses and defs of one CFG block."""
+    uses: Set[str] = set()
+    defs: Set[str] = set()
+    for stmt in block.stmts:
+        u, d = stmt_uses_defs(stmt)
+        uses |= (u - defs)
+        defs |= d
+    if isinstance(block.term, CondJump):
+        term_uses: Set[str] = set()
+        _expr_uses(block.term.cond, term_uses)
+        uses |= (term_uses - defs)
+    return uses, defs
+
+
+def liveness(cfg: Cfg, exit_live: Set[str]) -> Dict[str, Tuple[Set[str], Set[str]]]:
+    """Per-block (live_in, live_out); ``exit_live`` flows into Halt blocks."""
+    by_label = cfg.by_label()
+    ud = {b.label: block_uses_defs(b) for b in cfg.blocks}
+    live_in: Dict[str, Set[str]] = {b.label: set() for b in cfg.blocks}
+    live_out: Dict[str, Set[str]] = {b.label: set() for b in cfg.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(cfg.blocks):
+            out: Set[str] = set()
+            if isinstance(block.term, Halt):
+                out |= exit_live
+            for succ in cfg.successors(block):
+                out |= live_in[succ]
+            uses, defs = ud[block.label]
+            new_in = uses | (out - defs)
+            if out != live_out[block.label] or new_in != live_in[block.label]:
+                live_out[block.label] = out
+                live_in[block.label] = new_in
+                changed = True
+    return {label: (live_in[label], live_out[label]) for label in live_in}

@@ -1,0 +1,266 @@
+"""TIR -> SRISC lowering for the baseline core.
+
+Reuses the CFG pipeline at the ``"baseline"`` level (rotated loops,
+unrolling, block merging — a high-quality conventional compiler, like the
+paper's Gem — but no predication: SRISC branches instead).  Expression
+trees evaluate through a small temporary-register pool; named scalars get
+dedicated registers, exactly mirroring the TRIPS compiler's assignment so
+cross-checking final register values is trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..baseline.srisc import NUM_REGS, SInst, SriscProgram
+from ..tir.ir import (
+    Assign,
+    BinOp,
+    Const,
+    Load,
+    Store,
+    TirProgram,
+    UnOp,
+    Var,
+    bits_to_int,
+)
+from .cfg import CompileError, CondJump, Halt, Jump, lower_to_cfg, stmt_uses_defs
+
+#: registers reserved for expression temporaries and pinned address bases.
+NUM_TEMPS = 12
+NUM_PINNED = 6
+MAX_VARS = NUM_REGS - NUM_TEMPS - NUM_PINNED
+
+#: dtype -> (size, signed) for loads.
+_LOAD_INFO = {"i8": (1, True), "u8": (1, False), "i16": (2, True),
+              "u16": (2, False), "i32": (4, True), "u32": (4, False),
+              "i64": (8, True), "u64": (8, False), "f64": (8, False)}
+
+#: binops with a usable immediate form (fits the walked constant anyway —
+#: SRISC immediates are full-width, being a simulator-level ISA).
+_IMMABLE = {"add", "sub", "mul", "and", "or", "xor", "shl", "shr", "sra",
+            "eq", "ne", "lt", "le", "gt", "ge", "ltu", "geu", "div", "rem"}
+
+
+class _Emitter:
+    def __init__(self, tir: TirProgram, var_regs: Dict[str, int],
+                 array_addrs: Dict[str, int]):
+        self.tir = tir
+        self.var_regs = var_regs
+        self.array_addrs = array_addrs
+        self.out: List[SInst] = []
+        self.temp_base = MAX_VARS
+        self.temps_used = 0
+        # address CSE (a good conventional compiler keeps scaled bases in
+        # registers): structural-key -> pinned register, versioned so any
+        # reassignment of an involved variable invalidates the entry
+        self.var_version: Dict[str, int] = {}
+        self.addr_cache: Dict[tuple, int] = {}
+        self.pinned_used = 0
+
+    def new_block(self) -> None:
+        """Reset block-scoped state at a control-flow boundary."""
+        self.addr_cache.clear()
+        self.pinned_used = 0
+
+    def _expr_key(self, e):
+        """Structural key of a pure expression, versioned by variables."""
+        if isinstance(e, Const):
+            return ("c", e.bits)
+        if isinstance(e, Var):
+            return ("v", e.name, self.var_version.get(e.name, 0))
+        if isinstance(e, BinOp):
+            return ("b", e.op, self._expr_key(e.a), self._expr_key(e.b))
+        if isinstance(e, UnOp):
+            return ("u", e.op, self._expr_key(e.a))
+        return None      # loads etc. are not cacheable
+
+    # -- temp pool -------------------------------------------------------
+    def _alloc(self) -> int:
+        if self.temps_used >= NUM_TEMPS:
+            raise CompileError("expression too deep for the temp pool")
+        reg = self.temp_base + self.temps_used
+        self.temps_used += 1
+        return reg
+
+    def _release_to(self, mark: int) -> None:
+        self.temps_used = mark
+
+    # -- expressions ------------------------------------------------------
+    def expr(self, e, dest: Optional[int] = None) -> int:
+        """Emit code leaving the value in a register; returns that register."""
+        if isinstance(e, Const):
+            reg = dest if dest is not None else self._alloc()
+            self.out.append(SInst("li", rd=reg, imm=e.bits))
+            return reg
+        if isinstance(e, Var):
+            src = self.var_regs[e.name]
+            if dest is not None and dest != src:
+                self.out.append(SInst("mov", rd=dest, ra=src))
+                return dest
+            return src
+        if isinstance(e, Load):
+            return self._load(e, dest)
+        if isinstance(e, UnOp):
+            mark = self.temps_used
+            ra = self.expr(e.a)
+            self._release_to(mark)
+            reg = dest if dest is not None else self._alloc()
+            self.out.append(SInst(e.op, rd=reg, ra=ra))
+            return reg
+        if isinstance(e, BinOp):
+            return self._binop(e, dest)
+        raise CompileError(f"cannot lower {e!r}")
+
+    def _binop(self, e: BinOp, dest: Optional[int]) -> int:
+        mark = self.temps_used
+        if isinstance(e.b, Const) and e.op in _IMMABLE:
+            ra = self.expr(e.a)
+            self._release_to(mark)
+            reg = dest if dest is not None else self._alloc()
+            self.out.append(SInst(e.op, rd=reg, ra=ra,
+                                  imm=bits_to_int(e.b.bits)))
+            return reg
+        ra = self.expr(e.a)
+        rb = self.expr(e.b)
+        self._release_to(mark)
+        reg = dest if dest is not None else self._alloc()
+        self.out.append(SInst(e.op, rd=reg, ra=ra, rb=rb))
+        return reg
+
+    def _address(self, array: str, index) -> (int, int):
+        """(address register, immediate offset) for array[index].
+
+        Constant index offsets fold into the load/store immediate, the
+        same strength reduction the TRIPS compiler performs.
+        """
+        arr = self.tir.arrays[array]
+        base = self.array_addrs[array]
+        if isinstance(index, Const):
+            reg = self._alloc()
+            self.out.append(SInst("li", rd=reg,
+                                  imm=base + bits_to_int(index.bits)
+                                  * arr.elem_size))
+            return reg, 0
+        if isinstance(index, BinOp) and index.op in ("add", "sub"):
+            variants = [(index.a, index.b, 1), (index.b, index.a, 1)] \
+                if index.op == "add" else [(index.a, index.b, -1)]
+            for rest, const_part, sign in variants:
+                if isinstance(const_part, Const):
+                    off = sign * bits_to_int(const_part.bits) * arr.elem_size
+                    ra, imm0 = self._address(array, rest)
+                    return ra, imm0 + off
+        key = self._expr_key(index)
+        cache_key = (array, key) if key is not None else None
+        if cache_key is not None and cache_key in self.addr_cache:
+            return self.addr_cache[cache_key], 0
+        mark = self.temps_used
+        idx = self.expr(index)
+        self._release_to(mark)
+        pin = cache_key is not None and self.pinned_used < NUM_PINNED
+        if pin:
+            scaled = MAX_VARS + NUM_TEMPS + self.pinned_used
+            self.pinned_used += 1
+        else:
+            scaled = self._alloc()
+        shift = arr.elem_size.bit_length() - 1
+        if shift:
+            self.out.append(SInst("shl", rd=scaled, ra=idx, imm=shift))
+        else:
+            self.out.append(SInst("mov", rd=scaled, ra=idx))
+        self.out.append(SInst("add", rd=scaled, ra=scaled, imm=base))
+        if pin:
+            self.addr_cache[cache_key] = scaled
+        return scaled, 0
+
+    def _load(self, e: Load, dest: Optional[int]) -> int:
+        mark = self.temps_used
+        ra, imm = self._address(e.array, e.index)
+        self._release_to(mark)
+        arr = self.tir.arrays[e.array]
+        size, signed = _LOAD_INFO[arr.dtype]
+        reg = dest if dest is not None else self._alloc()
+        self.out.append(SInst("ld", rd=reg, ra=ra, imm=imm, size=size,
+                              signed=signed))
+        return reg
+
+    # -- statements ---------------------------------------------------------
+    def stmt(self, s) -> None:
+        mark = self.temps_used
+        if isinstance(s, Assign):
+            self.expr(s.expr, dest=self.var_regs.setdefault(
+                s.var, self._fresh_var(s.var)))
+            self.var_version[s.var] = self.var_version.get(s.var, 0) + 1
+        elif isinstance(s, Store):
+            arr = self.tir.arrays[s.array]
+            value = self.expr(s.value)
+            ra, imm = self._address(s.array, s.index)
+            self.out.append(SInst("st", ra=ra, rb=value, imm=imm,
+                                  size=arr.elem_size))
+        else:
+            raise CompileError(f"unexpected statement {s!r}")
+        self._release_to(mark)
+
+    def _fresh_var(self, name: str) -> int:
+        reg = len(self.var_regs)
+        if reg >= MAX_VARS:
+            raise CompileError("too many scalars for SRISC registers")
+        return reg
+
+
+def compile_srisc(tir: TirProgram, data_base: int = 0x100000) -> SriscProgram:
+    """Compile a TIR program to SRISC for the baseline core."""
+    tir.validate()
+    cfg = lower_to_cfg(tir, "baseline")
+
+    var_regs: Dict[str, int] = {}
+    for name in tir.scalars:
+        var_regs[name] = len(var_regs)
+    for block in cfg.blocks:
+        for stmt in block.stmts:
+            uses, defs = stmt_uses_defs(stmt)
+            for name in sorted(uses) + sorted(defs):
+                var_regs.setdefault(name, len(var_regs))
+        if isinstance(block.term, CondJump):
+            from .cfg import _expr_uses
+            acc: Set[str] = set()
+            _expr_uses(block.term.cond, acc)
+            for name in sorted(acc):
+                var_regs.setdefault(name, len(var_regs))
+    if len(var_regs) > MAX_VARS:
+        raise CompileError(f"{len(var_regs)} scalars exceed SRISC registers")
+
+    program = SriscProgram(var_regs=var_regs)
+    next_data = data_base
+    for name, arr in tir.arrays.items():
+        align = max(8, arr.elem_size)
+        next_data = -(-next_data // align) * align
+        program.array_addrs[name] = next_data
+        program.data[next_data] = arr.encode()
+        next_data += arr.nbytes
+
+    emitter = _Emitter(tir, var_regs, program.array_addrs)
+    for block in cfg.blocks:
+        program.labels[block.label] = len(emitter.out)
+        emitter.new_block()
+        for stmt in block.stmts:
+            emitter.stmt(stmt)
+        term = block.term
+        if isinstance(term, Jump):
+            emitter.out.append(SInst("jmp", label=term.target))
+        elif isinstance(term, CondJump):
+            mark = emitter.temps_used
+            cond = emitter.expr(term.cond)
+            emitter._release_to(mark)
+            emitter.out.append(SInst("bnz", ra=cond, label=term.if_true))
+            emitter.out.append(SInst("jmp", label=term.if_false))
+        elif isinstance(term, Halt):
+            emitter.out.append(SInst("halt"))
+        else:
+            raise CompileError(f"unknown terminator {term!r}")
+
+    program.insts = emitter.out
+    for name, init in tir.scalars.items():
+        program.initial_regs[var_regs[name]] = init
+    program.resolve()
+    return program

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate the paper's tables.
+
+Usage::
+
+    python -m repro.harness table1
+    python -m repro.harness table2
+    python -m repro.harness table3 [workload ...]
+    python -m repro.harness floorplan
+    python -m repro.harness run <workload> [--level hand|tcc]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..analysis.floorplan import render_floorplan
+from ..workloads import workload_names
+from .runner import compare_workload, run_trips_workload
+from .tables import render_table, table1_rows, table2_rows, table3_rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness",
+        description="Regenerate the TRIPS paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("table1", help="Table 1: tile specifications")
+    sub.add_parser("table2", help="Table 2: control and data networks")
+    t3 = sub.add_parser("table3", help="Table 3: overheads + performance")
+    t3.add_argument("workloads", nargs="*", default=None,
+                    help="subset of benchmarks (default: all 21)")
+    sub.add_parser("floorplan", help="Figure 6: chip floorplan")
+    sub.add_parser("list", help="list the benchmark suite")
+    run_p = sub.add_parser("run", help="run one workload on tsim-proc")
+    run_p.add_argument("workload")
+    run_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
+
+    args = parser.parse_args(argv)
+    if args.command == "table1":
+        print(render_table(table1_rows(), "Table 1: TRIPS Tile Specifications"))
+    elif args.command == "table2":
+        print(render_table(table2_rows(),
+                           "Table 2: TRIPS Control and Data Networks"))
+    elif args.command == "table3":
+        names = args.workloads or None
+        print(render_table(table3_rows(names),
+                           "Table 3: overheads and performance"))
+    elif args.command == "floorplan":
+        print(render_floorplan())
+    elif args.command == "list":
+        for name in workload_names():
+            print(name)
+    elif args.command == "run":
+        run = run_trips_workload(args.workload, level=args.level)
+        print(f"{args.workload} @ {args.level}: {run.cycles} cycles, "
+              f"IPC {run.ipc:.2f}, "
+              f"{run.stats.blocks_committed} blocks committed, "
+              f"{run.stats.blocks_flushed} flushed "
+              f"({run.stats.flushes_mispredict} mispredict / "
+              f"{run.stats.flushes_violation} violation)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

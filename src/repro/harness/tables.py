@@ -1,0 +1,91 @@
+"""Regenerate the paper's tables.
+
+* :func:`table1_rows` — TRIPS tile specifications (Table 1).
+* :func:`table2_rows` — control and data networks (Table 2).
+* :func:`table3_rows` — per-benchmark critical-path overheads and
+  TRIPS-vs-baseline performance (Table 3).  Absolute values are not
+  expected to match the paper (our substrate is a rewritten simulator and
+  rewritten workloads); the *shape* — which categories dominate, who wins
+  where — is what EXPERIMENTS.md compares.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..analysis import analyze_critical_path
+from ..analysis.area import AreaModel
+from ..uarch.config import TripsConfig
+from ..workloads import workload_names
+from ..workloads.registry import HAND_OPTIMIZED
+from .runner import run_baseline_workload, run_trips_workload
+
+
+def table1_rows() -> List[Dict]:
+    return AreaModel.prototype().table1()
+
+
+def table2_rows() -> List[Dict]:
+    return AreaModel.prototype().table2()
+
+
+def table3_rows(workloads: Optional[Sequence[str]] = None,
+                config: Optional[TripsConfig] = None,
+                include_performance: bool = True) -> List[Dict]:
+    """One Table 3 row per benchmark.
+
+    Columns: the seven critical-path categories (percent, measured at the
+    best available code quality, as the paper does), then speedups over
+    the baseline and the three IPCs.  Hand-level numbers are omitted for
+    the SPEC proxies, matching the paper's footnote that SPEC was never
+    hand-optimized.
+    """
+    names = list(workloads) if workloads is not None else workload_names()
+    rows = []
+    for name in names:
+        hand_available = name in HAND_OPTIMIZED
+        level = "hand" if hand_available else "tcc"
+        run = run_trips_workload(name, level=level, config=config,
+                                 trace=True)
+        report = analyze_critical_path(run.proc.trace)
+        row: Dict = {"Benchmark": name}
+        row.update({k: round(v, 2) for k, v in report.row().items()})
+        if include_performance:
+            alpha = run_baseline_workload(name)
+            tcc = run_trips_workload(name, level="tcc", config=config) \
+                if level != "tcc" else run
+            row["Speedup TCC"] = round(alpha.cycles / tcc.cycles, 2)
+            row["Speedup Hand"] = round(alpha.cycles / run.cycles, 2) \
+                if hand_available else None
+            row["IPC Alpha"] = round(alpha.ipc, 2)
+            row["IPC TCC"] = round(tcc.ipc, 2)
+            row["IPC Hand"] = round(run.ipc, 2) if hand_available else None
+        rows.append(row)
+    return rows
+
+
+def render_table(rows: Iterable[Dict], title: str = "") -> str:
+    """Fixed-width text rendering of a list of row dicts."""
+    rows = list(rows)
+    if not rows:
+        return title
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(_cell(r.get(c))) for r in rows))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("  ".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append("  ".join(_cell(row.get(c)).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

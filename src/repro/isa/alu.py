@@ -1,0 +1,79 @@
+"""Functional semantics of TRIPS opcodes, shared by every execution model.
+
+The execution tiles of the cycle simulator, the functional block simulator
+and the compiler's constant folder all call :func:`execute` so that results
+are bit-identical everywhere.  The arithmetic itself is delegated to
+:mod:`repro.tir.semantics`, the single source of truth for 64-bit operator
+behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..tir import semantics
+from ..tir.ir import MASK64, int_to_bits
+from .encoding import Instruction
+from .opcodes import OpClass, Opcode
+
+#: TRIPS opcode -> TIR binary operator name.
+_BINOP = {
+    Opcode.ADD: "add", Opcode.SUB: "sub", Opcode.MUL: "mul",
+    Opcode.DIVS: "div", Opcode.AND: "and", Opcode.OR: "or",
+    Opcode.XOR: "xor", Opcode.SLL: "shl", Opcode.SRL: "shr",
+    Opcode.SRA: "sra",
+    Opcode.TEQ: "eq", Opcode.TNE: "ne", Opcode.TLT: "lt",
+    Opcode.TLE: "le", Opcode.TGT: "gt", Opcode.TGE: "ge",
+    Opcode.TLTU: "ltu", Opcode.TGEU: "geu",
+    Opcode.FADD: "fadd", Opcode.FSUB: "fsub", Opcode.FMUL: "fmul",
+    Opcode.FDIV: "fdiv",
+    Opcode.FEQ: "feq", Opcode.FNE: "fne", Opcode.FLT: "flt",
+    Opcode.FLE: "fle", Opcode.FGT: "fgt", Opcode.FGE: "fge",
+}
+
+#: TRIPS immediate opcode -> TIR binary operator applied as (left, imm).
+_IMMOP = {
+    Opcode.ADDI: "add", Opcode.SUBI: "sub", Opcode.MULI: "mul",
+    Opcode.ANDI: "and", Opcode.ORI: "or", Opcode.XORI: "xor",
+    Opcode.SLLI: "shl", Opcode.SRLI: "shr", Opcode.SRAI: "sra",
+    Opcode.TEQI: "eq", Opcode.TNEI: "ne", Opcode.TLTI: "lt",
+    Opcode.TGEI: "ge", Opcode.TGTI: "gt", Opcode.TLEI: "le",
+}
+
+#: TRIPS unary opcode -> TIR unary operator name.
+_UNOP = {Opcode.NOT: "not", Opcode.FTOI: "ftoi", Opcode.ITOF: "itof"}
+
+
+class AluError(ValueError):
+    """An opcode reached the ALU that the ALU cannot evaluate."""
+
+
+def execute(inst: Instruction, left: Optional[int] = None,
+            right: Optional[int] = None) -> int:
+    """Compute the result value of a non-memory, non-branch instruction.
+
+    ``left``/``right`` are 64-bit patterns (already known to be non-null
+    tokens; nullification is handled by the caller).  Loads, stores and
+    branches have side effects and are executed by the tiles, not here.
+    """
+    op = inst.opcode
+    if op in _BINOP:
+        return semantics.binop(_BINOP[op], left, right)
+    if op in _IMMOP:
+        return semantics.binop(_IMMOP[op], left, int_to_bits(inst.imm))
+    if op in _UNOP:
+        return semantics.unop(_UNOP[op], left)
+    if op is Opcode.MOV:
+        return left & MASK64
+    if op is Opcode.MOVI:
+        return int_to_bits(inst.const)
+    if op is Opcode.MOVIH:
+        return ((left << 16) | (inst.const & 0xFFFF)) & MASK64
+    raise AluError(f"ALU cannot execute {op.mnemonic}")
+
+
+def effective_address(inst: Instruction, left: int) -> int:
+    """Address of a load/store: left operand plus the signed immediate."""
+    if not inst.opcode.is_memory:
+        raise AluError(f"{inst.opcode.mnemonic} has no effective address")
+    return (left + inst.imm) & MASK64

@@ -1,0 +1,153 @@
+"""Program images: TRIPS blocks laid out in memory plus a data segment.
+
+A :class:`Program` is what the assembler and compiler produce and what the
+simulators consume: a set of validated blocks at 128-byte-aligned addresses,
+initialised data regions, an entry PC, and initial register values.
+
+Branch resolution is by *byte offset from the current block's base address*
+(``BRO``/``CALLO``) or by absolute address from an operand (``BR``/``RET``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .block import CHUNK_BYTES, BlockError, TripsBlock
+
+#: Branching to this address terminates simulation (HALT also terminates).
+EXIT_ADDRESS = 0
+
+
+class ProgramError(ValueError):
+    """Malformed program image."""
+
+
+@dataclass
+class Program:
+    """An executable TRIPS program."""
+
+    blocks: Dict[int, TripsBlock] = field(default_factory=dict)
+    data: Dict[int, bytes] = field(default_factory=dict)
+    entry: int = 0
+    initial_regs: Dict[int, int] = field(default_factory=dict)
+    labels: Dict[str, int] = field(default_factory=dict)
+
+    def add_block(self, address: int, block: TripsBlock) -> None:
+        if address % CHUNK_BYTES:
+            raise ProgramError(f"block address {address:#x} not 128B-aligned")
+        if address in self.blocks:
+            raise ProgramError(f"two blocks at {address:#x}")
+        block.validate()
+        self.blocks[address] = block
+
+    def add_data(self, address: int, payload: bytes) -> None:
+        self.data[address] = bytes(payload)
+
+    def block_at(self, address: int) -> TripsBlock:
+        try:
+            return self.blocks[address]
+        except KeyError:
+            raise ProgramError(f"no block at address {address:#x}") from None
+
+    def validate(self) -> None:
+        for addr, block in self.blocks.items():
+            block.validate()
+            # Every static branch offset must land on a block or the exit.
+            for slot in block.branches():
+                inst = block.body[slot]
+                if inst.opcode.mnemonic in ("bro", "callo"):
+                    tgt = addr + inst.offset
+                    if tgt != EXIT_ADDRESS and tgt not in self.blocks:
+                        raise ProgramError(
+                            f"block {block.name} at {addr:#x}: branch to "
+                            f"{tgt:#x} which holds no block")
+        if self.entry != EXIT_ADDRESS and self.entry not in self.blocks:
+            raise ProgramError(f"entry {self.entry:#x} holds no block")
+
+    # ------------------------------------------------------------------
+    def memory_image(self) -> Dict[int, bytes]:
+        """All initialised memory: encoded blocks plus data regions."""
+        image: Dict[int, bytes] = {}
+        for addr, block in sorted(self.blocks.items()):
+            image[addr] = block.encode()
+        image.update(self.data)
+        return image
+
+    def total_code_bytes(self) -> int:
+        return sum(b.size_bytes for b in self.blocks.values())
+
+    def static_instruction_count(self) -> int:
+        """Total static instructions including header reads/writes."""
+        return sum(len(b.body) + len(b.reads) + len(b.writes)
+                   for b in self.blocks.values())
+
+    def listing(self) -> str:
+        rev = {v: k for k, v in self.labels.items()}
+        lines = []
+        for addr in sorted(self.blocks):
+            label = rev.get(addr, "")
+            lines.append(f"{addr:#010x} {label}")
+            lines.append(self.blocks[addr].listing())
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Incremental builder that packs blocks contiguously and fixes labels.
+
+    Blocks are appended with symbolic branch targets ("label" strings stored
+    on the instruction as ``.label`` attributes by the compiler/assembler);
+    :meth:`finish` resolves them to byte offsets.
+    """
+
+    def __init__(self, base: int = 0x1000, data_base: int = 0x100000):
+        self._base = base
+        self._next = base
+        self._data_next = data_base
+        self.program = Program(entry=base)
+
+    def append(self, block: TripsBlock, label: Optional[str] = None) -> int:
+        """Place ``block`` at the next free code address; returns address."""
+        addr = self._next
+        if label:
+            if label in self.program.labels:
+                raise ProgramError(f"duplicate label {label!r}")
+            self.program.labels[label] = addr
+        self._pending_validate(block)
+        self.program.blocks[addr] = block
+        self._next += block.size_bytes
+        return addr
+
+    @staticmethod
+    def _pending_validate(block: TripsBlock) -> None:
+        # Full validation happens at finish(); here we only need structure
+        # sound enough to compute the block size.
+        if len(block.body) > 128:
+            raise BlockError("block too large")
+
+    def add_data(self, payload: bytes, align: int = 8) -> int:
+        """Place ``payload`` in the data segment; returns its address."""
+        self._data_next = -(-self._data_next // align) * align
+        addr = self._data_next
+        self.program.data[addr] = bytes(payload)
+        self._data_next += len(payload)
+        return addr
+
+    def finish(self) -> Program:
+        """Resolve symbolic branch targets, validate, and return the program."""
+        for addr, block in self.program.blocks.items():
+            for slot in block.branches():
+                inst = block.body[slot]
+                label = getattr(inst, "label", None)
+                if label is None:
+                    continue
+                if label == "@exit":
+                    target = EXIT_ADDRESS
+                elif label in self.program.labels:
+                    target = self.program.labels[label]
+                else:
+                    raise ProgramError(f"undefined label {label!r}")
+                inst.offset = target - addr
+                inst.validate()
+        self.program.validate()
+        return self.program

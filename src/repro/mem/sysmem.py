@@ -1,0 +1,208 @@
+"""The secondary memory system: OCN + MTs + NTs + I/O clients (Section 3.6).
+
+Topology: a 4x10 wormhole-routed mesh with 16-byte links and four virtual
+channels.  The 16 memory tiles occupy the two middle columns; the network
+tiles on the outer columns are the translation agents where processors and
+I/O controllers attach.  Aligning the OCN with the DTs gives each IT/DT
+pair a private port into the memory system.
+
+Clients call :meth:`SecondaryMemory.request`; responses come back through
+:meth:`take_responses` after the request packet crosses the OCN, the home
+bank (and, on a miss, an SDRAM controller) services it, and the reply —
+one header flit plus four 16-byte data flits for a 64-byte line — crosses
+back.
+
+The three memory configurations of Section 3.6 are reproduced by
+reprogramming NT tables and MT mode bits: ``shared_l2`` (one 1MB cache),
+``split_l2`` (two independent 512KB caches), ``scratchpad`` (1MB on-chip
+physical memory, no L2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..uarch.mesh import Packet, WormholeMesh
+from .backing import BackingStore
+from .mt import MemoryTile, MtConfig
+from .nt import NetworkTile, RouteEntry
+
+ROWS, COLS = 10, 4
+LINE_BYTES = 64
+FLIT_BYTES = 16
+DATA_FLITS = LINE_BYTES // FLIT_BYTES  # 4 data flits per line
+
+
+@dataclass
+class SysMemConfig:
+    mode: str = "shared_l2"     # shared_l2 | split_l2 | scratchpad
+    dram_cycles: int = 80
+    mt: MtConfig = field(default_factory=MtConfig)
+    vcs: int = 4
+
+
+@dataclass
+class _Request:
+    port: int
+    address: int
+    is_write: bool
+    meta: object
+    issued: int
+
+
+class SecondaryMemory:
+    """The full 1MB NUCA array plus its I/O clients."""
+
+    #: processor-port NT coordinates: 8 per side column — each IT/DT pair
+    #: of each processor gets a private port (Section 3.6).
+    PROC_PORTS = [(r, 3) for r in range(8)]
+    #: I/O clients on the west edge.
+    IO_PORTS = {"sdc0": (1, 0), "sdc1": (6, 0), "dma0": (0, 0),
+                "dma1": (8, 0), "ebc": (4, 0), "c2c": (9, 0)}
+
+    def __init__(self, config: SysMemConfig = None,
+                 backing: Optional[BackingStore] = None):
+        self.config = config or SysMemConfig()
+        self.backing = backing if backing is not None else BackingStore()
+        self.ocn = WormholeMesh(ROWS, COLS, vcs=self.config.vcs,
+                                queue_depth=2)
+        # 16 MTs in the two middle columns
+        self.mt_coords = [(r, c) for c in (1, 2) for r in range(8)]
+        self.mts = [MemoryTile(i, self.config.mt) for i in range(16)]
+        self.nts = [NetworkTile(i) for i in range(24)]
+        self._responses: Dict[int, List[object]] = {}
+        self._pending_dram: List[Tuple[int, _Request, int]] = []
+        self._parked: List = []
+        self.cycle = 0
+        self.stats = {"requests": 0, "dram_accesses": 0, "dma_copies": 0}
+        self.configure(self.config.mode)
+
+    # ------------------------------------------------------------------
+    # configuration (Section 3.6's mapping flexibility)
+    # ------------------------------------------------------------------
+    def configure(self, mode: str) -> None:
+        self.config.mode = mode
+        if mode == "shared_l2":
+            for nt in self.nts:
+                nt.program_interleave(
+                    lambda addr: (addr // LINE_BYTES) % 16)
+            for mt in self.mts:
+                mt.configure("l2")
+        elif mode == "split_l2":
+            # processor 0's ports use banks 0..7, processor 1's use 8..15;
+            # we model processor 0 (ports 0-3) and leave 4-7 for proc 1
+            for nt in self.nts:
+                nt.program_interleave(
+                    lambda addr: (addr // LINE_BYTES) % 8)
+            for mt in self.mts:
+                mt.configure("l2")
+        elif mode == "scratchpad":
+            # 1MB of on-chip physical memory: 64KB ranges per MT from the
+            # scratch base; everything else goes to bank 0's SDC path
+            base = 0x100000
+            entries = [RouteEntry(base + i * 65536, base + (i + 1) * 65536, i)
+                       for i in range(16)]
+            entries.append(RouteEntry(0, 1 << 40, 0))
+            for nt in self.nts:
+                nt.program_ranges(entries)
+            for mt in self.mts:
+                mt.configure("scratch")
+        else:
+            raise ValueError(f"unknown memory mode {mode!r}")
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def request(self, port: int, address: int, is_write: bool,
+                meta: object) -> None:
+        """Issue a line request from processor port ``port`` (0..7)."""
+        self.stats["requests"] += 1
+        src = self.PROC_PORTS[port]
+        nt = self.nts[port % len(self.nts)]
+        mt_index = nt.route(address)
+        dest = self.mt_coords[mt_index]
+        req = _Request(port=port, address=address, is_write=is_write,
+                       meta=meta, issued=self.cycle)
+        flits = 1 + (DATA_FLITS if is_write else 0)
+        packet = Packet(src=src, dest=dest, payload=("req", req, mt_index),
+                        flits=flits, vc=0)
+        self._inject_retry(src, packet)
+
+    def take_responses(self, port: int) -> List[object]:
+        out = self._responses.get(port, [])
+        if out:
+            self._responses[port] = []
+        return out
+
+    # ------------------------------------------------------------------
+    def _inject_retry(self, src, packet) -> None:
+        if not self.ocn.inject(src, packet):
+            # park until next cycle; the step loop retries
+            self._parked.append((src, packet))
+
+    def step(self) -> None:
+        """Advance the memory system one cycle."""
+        parked, self._parked = self._parked, []
+        for src, packet in parked:
+            self._inject_retry(src, packet)
+
+        # DRAM completions
+        still = []
+        for done_at, req, mt_index in self._pending_dram:
+            if done_at <= self.cycle:
+                self._reply(req, mt_index, self.cycle)
+            else:
+                still.append((done_at, req, mt_index))
+        self._pending_dram = still
+
+        # deliveries at MTs
+        for mt_index, coord in enumerate(self.mt_coords):
+            for packet in self.ocn.take_delivered(coord):
+                kind, req, idx = packet.payload
+                mt = self.mts[idx]
+                ready, needs_dram = mt.access(req.address, self.cycle)
+                if needs_dram:
+                    done = ready + self.config.dram_cycles
+                    mt.note_refill(done)
+                    self.stats["dram_accesses"] += 1
+                    self._pending_dram.append((done, req, idx))
+                else:
+                    self._pending_dram.append((ready, req, idx))
+
+        # deliveries back at processor/I/O ports
+        for port, coord in enumerate(self.PROC_PORTS):
+            for packet in self.ocn.take_delivered(coord):
+                kind, req, _ = packet.payload
+                self._responses.setdefault(req.port, []).append(req.meta)
+        self.ocn.step()
+        self.cycle += 1
+
+    def _reply(self, req: _Request, mt_index: int, now: int) -> None:
+        src = self.mt_coords[mt_index]
+        dest = self.PROC_PORTS[req.port]
+        flits = 1 + (0 if req.is_write else DATA_FLITS)
+        packet = Packet(src=src, dest=dest,
+                        payload=("resp", req, mt_index), flits=flits, vc=1)
+        self._inject_retry(src, packet)
+
+    # ------------------------------------------------------------------
+    # I/O clients
+    # ------------------------------------------------------------------
+    def dma_copy(self, src_addr: int, dst_addr: int, nbytes: int) -> int:
+        """Programmed DMA transfer between two physical regions.
+
+        Returns the estimated completion cycle: the DMA controller streams
+        line-sized OCN transactions at one line per round trip per
+        direction, the paper's "transfer data to and from any two regions
+        of the physical address space"."""
+        self.stats["dma_copies"] += 1
+        data = self.backing.read_bytes(src_addr, nbytes)
+        self.backing.write_bytes(dst_addr, data)
+        lines = -(-nbytes // LINE_BYTES)
+        per_line = 2 * (DATA_FLITS + 1) + 2 * self.config.mt.bank_latency
+        return self.cycle + lines * per_line
+
+    def run_idle(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()

@@ -1,0 +1,47 @@
+"""TIR — the tiny imperative IR used as the paper's C/Fortran stand-in.
+
+The paper's benchmarks are C programs compiled by the TRIPS toolchain.  We
+have no C frontend, so workloads are written in TIR: a small structured IR
+with 64-bit integer and IEEE-double arithmetic, named scalars, named arrays,
+counted and conditional loops, and if/else.  Three consumers share it:
+
+* :mod:`repro.tir.interp` — the reference interpreter (golden outputs),
+* :mod:`repro.compiler` — lowers TIR to TRIPS blocks (tcc / hand levels),
+* :mod:`repro.compiler.srisc` — lowers TIR to the baseline's RISC code.
+
+All integer arithmetic is 64-bit two's-complement; floats are IEEE doubles
+carried as 64-bit patterns, so all three consumers produce bit-identical
+architectural results.
+"""
+
+from .ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    F,
+    For,
+    If,
+    Load,
+    Stmt,
+    Store,
+    TirError,
+    TirProgram,
+    UnOp,
+    V,
+    Var,
+    While,
+    bits_to_float,
+    bits_to_int,
+    float_to_bits,
+    int_to_bits,
+)
+from .interp import InterpResult, interpret
+
+__all__ = [
+    "Array", "Assign", "BinOp", "Const", "Expr", "F", "For", "If", "Load",
+    "Stmt", "Store", "TirError", "TirProgram", "UnOp", "V", "Var", "While",
+    "bits_to_float", "bits_to_int", "float_to_bits", "int_to_bits",
+    "InterpResult", "interpret",
+]

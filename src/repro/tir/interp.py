@@ -1,0 +1,151 @@
+"""Reference interpreter for TIR programs.
+
+Produces the golden architectural outputs every simulator run is checked
+against, plus simple dynamic statistics (operation counts) used for sanity
+checks on the compilers' instruction counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from . import semantics
+from .ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Stmt,
+    Store,
+    TirError,
+    TirProgram,
+    UnOp,
+    Var,
+    While,
+    bits_to_int,
+    float_to_bits,
+    int_to_bits,
+)
+
+#: fuse against runaway While loops in buggy workloads.
+MAX_DYNAMIC_STATEMENTS = 50_000_000
+
+
+@dataclass
+class InterpResult:
+    """Golden outputs of one interpretation."""
+
+    scalars: Dict[str, int]                 # final 64-bit patterns
+    arrays: Dict[str, List[int]]            # final element patterns
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    dynamic_statements: int = 0
+
+    def output_signature(self, outputs: Sequence[str]) -> tuple:
+        """Hashable digest of the observable outputs, for comparisons."""
+        parts = []
+        for name in outputs:
+            if name in self.arrays:
+                parts.append((name, tuple(self.arrays[name])))
+            else:
+                parts.append((name, self.scalars[name]))
+        return tuple(parts)
+
+
+class _Memory:
+    """Per-array element storage as 64-bit patterns, truncated on store."""
+
+    def __init__(self, arrays: Dict[str, Array]):
+        self.arrays = arrays
+        self.values: Dict[str, List[int]] = {}
+        for name, arr in arrays.items():
+            elems = []
+            for v in arr.data:
+                bits = float_to_bits(v) if arr.dtype == "f64" and \
+                    isinstance(v, float) else int_to_bits(int(v))
+                elems.append(semantics.truncate_load(bits, arr.elem_size,
+                                                     arr.signed))
+            self.values[name] = elems
+
+    def load(self, array: str, index: int) -> int:
+        arr = self.arrays[array]
+        elems = self.values[array]
+        if not 0 <= index < len(elems):
+            raise TirError(f"{array}[{index}] out of bounds (len {len(elems)})")
+        return elems[index]
+
+    def store(self, array: str, index: int, bits: int) -> None:
+        arr = self.arrays[array]
+        elems = self.values[array]
+        if not 0 <= index < len(elems):
+            raise TirError(f"{array}[{index}] out of bounds (len {len(elems)})")
+        elems[index] = semantics.truncate_load(bits, arr.elem_size, arr.signed)
+
+
+def interpret(program: TirProgram) -> InterpResult:
+    """Run ``program`` to completion and return its golden outputs."""
+    program.validate()
+    memory = _Memory(program.arrays)
+    scalars: Dict[str, int] = {k: int_to_bits(v)
+                               for k, v in program.scalars.items()}
+    op_counts: Dict[str, int] = {}
+    counter = {"stmts": 0}
+
+    def ev(expr: Expr) -> int:
+        if isinstance(expr, Const):
+            return expr.bits
+        if isinstance(expr, Var):
+            try:
+                return scalars[expr.name]
+            except KeyError:
+                raise TirError(f"read of unassigned variable {expr.name!r}") \
+                    from None
+        if isinstance(expr, Load):
+            index = bits_to_int(ev(expr.index))
+            op_counts["load"] = op_counts.get("load", 0) + 1
+            return memory.load(expr.array, index)
+        if isinstance(expr, BinOp):
+            op_counts[expr.op] = op_counts.get(expr.op, 0) + 1
+            return semantics.binop(expr.op, ev(expr.a), ev(expr.b))
+        if isinstance(expr, UnOp):
+            op_counts[expr.op] = op_counts.get(expr.op, 0) + 1
+            return semantics.unop(expr.op, ev(expr.a))
+        raise TirError(f"cannot evaluate {expr!r}")
+
+    def run(stmts: Sequence[Stmt]) -> None:
+        for stmt in stmts:
+            counter["stmts"] += 1
+            if counter["stmts"] > MAX_DYNAMIC_STATEMENTS:
+                raise TirError("dynamic statement budget exceeded")
+            if isinstance(stmt, Assign):
+                scalars[stmt.var] = ev(stmt.expr)
+            elif isinstance(stmt, Store):
+                index = bits_to_int(ev(stmt.index))
+                op_counts["store"] = op_counts.get("store", 0) + 1
+                memory.store(stmt.array, index, ev(stmt.value))
+            elif isinstance(stmt, For):
+                start = bits_to_int(ev(stmt.start))
+                stop = bits_to_int(ev(stmt.stop))
+                i = start
+                while (i < stop) if stmt.step > 0 else (i > stop):
+                    scalars[stmt.var] = int_to_bits(i)
+                    run(stmt.body)
+                    i = bits_to_int(scalars[stmt.var]) + stmt.step
+                scalars[stmt.var] = int_to_bits(i)
+            elif isinstance(stmt, While):
+                while ev(stmt.cond) != 0:
+                    counter["stmts"] += 1
+                    run(stmt.body)
+            elif isinstance(stmt, If):
+                run(stmt.then_body if ev(stmt.cond) != 0 else stmt.else_body)
+            else:
+                raise TirError(f"cannot execute {stmt!r}")
+
+    run(program.body)
+    return InterpResult(scalars=scalars, arrays=memory.values,
+                        op_counts=op_counts,
+                        dynamic_statements=counter["stmts"])

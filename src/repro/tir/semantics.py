@@ -1,0 +1,128 @@
+"""Single source of truth for operator semantics on 64-bit patterns.
+
+Shared by the TIR interpreter, the TRIPS execution tiles and the baseline
+core's ALU so that all three produce bit-identical results.
+
+Conventions:
+
+* integers are 64-bit two's complement; arithmetic wraps,
+* shift amounts are taken mod 64,
+* signed division truncates toward zero; division by zero yields 0 and
+  remainder by zero yields the dividend (a defined, testable behaviour in
+  place of a fault, since the workload suite never divides by zero),
+* comparisons produce 0 or 1,
+* ``f*`` operators reinterpret patterns as IEEE doubles.
+"""
+
+from __future__ import annotations
+
+from .ir import MASK64, TirError, bits_to_float, bits_to_int, float_to_bits, int_to_bits
+
+
+def _fdiv(x: float, y: float) -> float:
+    if y == 0.0:
+        return float("inf") if x > 0 else float("-inf") if x < 0 else float("nan")
+    return x / y
+
+
+def _sdiv(a: int, b: int) -> int:
+    if b == 0:
+        return 0
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _srem(a: int, b: int) -> int:
+    if b == 0:
+        return a
+    return a - _sdiv(a, b) * b
+
+
+_INT_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+_CMP = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+}
+
+_FCMP = {
+    "feq": lambda a, b: a == b,
+    "fne": lambda a, b: a != b,
+    "flt": lambda a, b: a < b,
+    "fle": lambda a, b: a <= b,
+    "fgt": lambda a, b: a > b,
+    "fge": lambda a, b: a >= b,
+}
+
+_FBIN = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": _fdiv,
+}
+
+
+def binop(op: str, a: int, b: int) -> int:
+    """Apply binary operator ``op`` to two 64-bit patterns."""
+    a &= MASK64
+    b &= MASK64
+    if op in _INT_BIN:
+        return _INT_BIN[op](a, b) & MASK64
+    if op in _CMP:
+        return 1 if _CMP[op](bits_to_int(a), bits_to_int(b)) else 0
+    if op == "ltu":
+        return 1 if a < b else 0
+    if op == "geu":
+        return 1 if a >= b else 0
+    if op == "shl":
+        return (a << (b & 63)) & MASK64
+    if op == "shr":
+        return a >> (b & 63)
+    if op == "sra":
+        return int_to_bits(bits_to_int(a) >> (b & 63))
+    if op == "div":
+        return int_to_bits(_sdiv(bits_to_int(a), bits_to_int(b)))
+    if op == "rem":
+        return int_to_bits(_srem(bits_to_int(a), bits_to_int(b)))
+    if op in _FBIN:
+        return float_to_bits(_FBIN[op](bits_to_float(a), bits_to_float(b)))
+    if op in _FCMP:
+        return 1 if _FCMP[op](bits_to_float(a), bits_to_float(b)) else 0
+    raise TirError(f"unknown binop {op!r}")
+
+
+def unop(op: str, a: int) -> int:
+    """Apply unary operator ``op`` to a 64-bit pattern."""
+    a &= MASK64
+    if op == "not":
+        return a ^ MASK64
+    if op == "neg":
+        return (-a) & MASK64
+    if op == "itof":
+        return float_to_bits(float(bits_to_int(a)))
+    if op == "ftoi":
+        f = bits_to_float(a)
+        if f != f or f in (float("inf"), float("-inf")):
+            return 0
+        return int_to_bits(int(f))
+    raise TirError(f"unknown unop {op!r}")
+
+
+def truncate_load(bits: int, size: int, signed: bool) -> int:
+    """Model a ``size``-byte load of the low bytes of ``bits``."""
+    mask = (1 << (8 * size)) - 1
+    value = bits & mask
+    if signed and value >> (8 * size - 1):
+        value -= 1 << (8 * size)
+    return int_to_bits(value)

@@ -1,0 +1,19 @@
+"""The TRIPS processor microarchitecture.
+
+* :mod:`repro.uarch.functional` — ``tsim-arch``: a fast, untimed
+  block-dataflow simulator used as the compiler's co-validation target.
+* :mod:`repro.uarch.proc` — ``tsim-proc``: the detailed cycle-level tiled
+  model with all seven micronetworks and the distributed protocols.
+"""
+
+from .functional import FunctionalSim, FunctionalStats, SimError
+from .config import PROTOTYPE, PredictorConfig, TripsConfig
+
+__all__ = ["FunctionalSim", "FunctionalStats", "SimError",
+           "PROTOTYPE", "PredictorConfig", "TripsConfig"]
+
+# TripsProcessor is imported lazily by consumers (repro.uarch.proc) to keep
+# `import repro.uarch` light; it is re-exported here for convenience.
+from .proc import ProcStats, TripsProcessor  # noqa: E402
+
+__all__ += ["ProcStats", "TripsProcessor"]

@@ -1,0 +1,94 @@
+"""Set-associative cache banks (timing model).
+
+Data correctness flows through the backing store plus the LSQ (committed
+state + in-flight forwarding); the cache banks model *timing* — hit/miss,
+LRU replacement, MSHR occupancy — exactly the split the paper's validation
+methodology implies for tsim-proc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class CacheBank:
+    """One N-way, LRU, ``size_bytes`` bank of ``line_bytes`` lines."""
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int):
+        if size_bytes % (assoc * line_bytes):
+            raise ValueError("size must be a multiple of assoc * line size")
+        self.line_bytes = line_bytes
+        self.assoc = assoc
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        # each set: list of line tags in LRU order (front = MRU)
+        self._sets: List[List[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _index(self, address: int) -> int:
+        return (address // self.line_bytes) % self.num_sets
+
+    def _tag(self, address: int) -> int:
+        return address // self.line_bytes
+
+    def lookup(self, address: int, touch: bool = True) -> bool:
+        """Hit test; promotes the line to MRU on hit."""
+        lines = self._sets[self._index(address)]
+        tag = self._tag(address)
+        if tag in lines:
+            self.hits += 1
+            if touch:
+                lines.remove(tag)
+                lines.insert(0, tag)
+            return True
+        self.misses += 1
+        return False
+
+    def contains(self, address: int) -> bool:
+        return self._tag(address) in self._sets[self._index(address)]
+
+    def fill(self, address: int) -> Optional[int]:
+        """Install a line; returns the evicted line address, if any."""
+        lines = self._sets[self._index(address)]
+        tag = self._tag(address)
+        if tag in lines:
+            return None
+        lines.insert(0, tag)
+        if len(lines) > self.assoc:
+            return lines.pop() * self.line_bytes
+        return None
+
+    def invalidate(self, address: int) -> None:
+        lines = self._sets[self._index(address)]
+        tag = self._tag(address)
+        if tag in lines:
+            lines.remove(tag)
+
+
+@dataclass
+class Mshr:
+    """Miss status holding registers: bounded outstanding lines."""
+
+    max_lines: int
+    max_requests: int
+    lines: Dict[int, List[object]] = field(default_factory=dict)
+    total_requests: int = 0
+
+    def can_accept(self, line_addr: int) -> bool:
+        if line_addr in self.lines:
+            return self.total_requests < self.max_requests
+        return (len(self.lines) < self.max_lines
+                and self.total_requests < self.max_requests)
+
+    def add(self, line_addr: int, token: object) -> bool:
+        """Attach a waiting request; True if this line is a new miss."""
+        new = line_addr not in self.lines
+        self.lines.setdefault(line_addr, []).append(token)
+        self.total_requests += 1
+        return new
+
+    def complete(self, line_addr: int) -> List[object]:
+        tokens = self.lines.pop(line_addr, [])
+        self.total_requests -= len(tokens)
+        return tokens

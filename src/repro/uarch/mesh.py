@@ -1,0 +1,225 @@
+"""Generic cycle-stepped wormhole-routed 2D mesh.
+
+Used for the operand network (5x5, single-flit operand packets, Section 3)
+and the on-chip network (4x10, multi-flit cache-line packets, Section 3.6).
+
+Model: dimension-order (row-first) routing, per-input-port FIFOs of
+configurable depth, round-robin output arbitration, and packet-granularity
+wormhole approximation — a packet of F flits holds its output link for F
+cycles (serialization), which captures wormhole bandwidth behaviour without
+per-flit state.  Multiple virtual channels are modelled as additional,
+independently-arbitrated input FIFOs, which removes head-of-line blocking
+between traffic classes the way VCs do.
+
+Every packet records its injection time, hop count and queueing delay so
+the critical-path analyzer can split operand latency into the paper's
+"OPN hops" and "OPN contention" categories.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+Coord = Tuple[int, int]   # (row, col)
+
+
+@dataclass
+class Packet:
+    """One network packet (an operand, a control message, a cache line)."""
+
+    src: Coord
+    dest: Coord
+    payload: object = None
+    flits: int = 1
+    vc: int = 0
+    created: int = -1        # cycle handed to the network (or queued)
+    injected: int = -1       # cycle accepted into the source router
+    delivered: int = -1      # cycle ejected at the destination
+    hops: int = 0
+
+    @property
+    def min_latency(self) -> int:
+        return abs(self.src[0] - self.dest[0]) + abs(self.src[1] - self.dest[1])
+
+    @property
+    def queue_cycles(self) -> int:
+        """Cycles lost to contention (beyond pure hop latency)."""
+        if self.delivered < 0 or self.injected < 0:
+            return 0
+        return max(0, (self.delivered - self.injected) - self.min_latency)
+
+
+class _Port:
+    """One input FIFO (per VC) feeding a router."""
+
+    __slots__ = ("queues", "depth")
+
+    def __init__(self, vcs: int, depth: int):
+        self.queues: List[Deque[Packet]] = [deque() for _ in range(vcs)]
+        self.depth = depth
+
+    def has_space(self, vc: int) -> bool:
+        return len(self.queues[vc]) < self.depth
+
+    def push(self, packet: Packet) -> None:
+        self.queues[packet.vc].append(packet)
+
+
+# port indices
+_LOCAL, _NORTH, _SOUTH, _EAST, _WEST = range(5)
+_NUM_PORTS = 5
+
+
+@dataclass
+class MeshStats:
+    injected: int = 0
+    delivered: int = 0
+    total_hops: int = 0
+    total_queue_cycles: int = 0
+    link_busy_cycles: int = 0
+    inject_stalls: int = 0
+
+
+class WormholeMesh:
+    """A rows x cols mesh of 5-ported routers."""
+
+    def __init__(self, rows: int, cols: int, vcs: int = 1,
+                 queue_depth: int = 2, lanes: int = 1,
+                 route_order: str = "row_first"):
+        if route_order not in ("row_first", "col_first"):
+            raise ValueError(f"bad route order {route_order!r}")
+        self.rows = rows
+        self.cols = cols
+        self.vcs = vcs
+        self.lanes = lanes
+        self.route_order = route_order
+        self.cycle_count = 0
+        # ports[node][port] -> _Port
+        self.ports: Dict[Coord, List[_Port]] = {
+            (r, c): [_Port(vcs, queue_depth) for _ in range(_NUM_PORTS)]
+            for r in range(rows) for c in range(cols)}
+        # output serialization: (node, out_port) -> busy-until cycle, per lane
+        self._busy: Dict[Tuple[Coord, int], List[int]] = {}
+        self._rr: Dict[Tuple[Coord, int], int] = {}
+        self._delivery: Dict[Coord, List[Packet]] = {
+            (r, c): [] for r in range(rows) for c in range(cols)}
+        self.stats = MeshStats()
+
+    # ------------------------------------------------------------------
+    def inject(self, node: Coord, packet: Packet) -> bool:
+        """Offer a packet to ``node``'s local input; False if it is full."""
+        port = self.ports[node][_LOCAL]
+        if not port.has_space(packet.vc):
+            self.stats.inject_stalls += 1
+            return False
+        packet.injected = self.cycle_count
+        if packet.created < 0:
+            packet.created = self.cycle_count
+        port.push(packet)
+        self.stats.injected += 1
+        return True
+
+    def take_delivered(self, node: Coord) -> List[Packet]:
+        """Packets ejected at ``node`` since the last call."""
+        out = self._delivery[node]
+        if out:
+            self._delivery[node] = []
+        return out
+
+    # ------------------------------------------------------------------
+    def _next_hop(self, at: Coord, dest: Coord) -> int:
+        row, col = at
+        if self.route_order == "row_first":
+            if row != dest[0]:
+                return _SOUTH if dest[0] > row else _NORTH
+            if col != dest[1]:
+                return _EAST if dest[1] > col else _WEST
+        else:
+            if col != dest[1]:
+                return _EAST if dest[1] > col else _WEST
+            if row != dest[0]:
+                return _SOUTH if dest[0] > row else _NORTH
+        return _LOCAL   # at destination: eject
+
+    @staticmethod
+    def _neighbor(node: Coord, out_port: int) -> Coord:
+        row, col = node
+        return {(_NORTH): (row - 1, col), _SOUTH: (row + 1, col),
+                _EAST: (row, col + 1), _WEST: (row, col - 1)}[out_port]
+
+    @staticmethod
+    def _entry_port(out_port: int) -> int:
+        """Which input port of the neighbour a move through ``out_port`` fills."""
+        return {_NORTH: _SOUTH, _SOUTH: _NORTH,
+                _EAST: _WEST, _WEST: _EAST}[out_port]
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network one cycle."""
+        now = self.cycle_count
+        moves: List[Tuple[Deque[Packet], Packet, Coord, int]] = []
+        granted_queues = set()
+        for node, ports in self.ports.items():
+            # Gather head packets per output request.
+            requests: Dict[int, List[Deque[Packet]]] = {}
+            for port in ports:
+                for queue in port.queues:
+                    if not queue:
+                        continue
+                    out = self._next_hop(node, queue[0].dest)
+                    requests.setdefault(out, []).append(queue)
+            for out, queues in requests.items():
+                lanes = self._busy.setdefault((node, out), [0] * self.lanes)
+                rr_key = (node, out)
+                start = self._rr.get(rr_key, 0)
+                granted = 0
+                for lane_idx, busy_until in enumerate(lanes):
+                    if busy_until > now or granted >= len(queues):
+                        continue
+                    # round-robin over requesting queues
+                    for k in range(len(queues)):
+                        queue = queues[(start + k) % len(queues)]
+                        if not queue or id(queue) in granted_queues:
+                            continue
+                        packet = queue[0]
+                        if self._next_hop(node, packet.dest) != out:
+                            continue  # pragma: no cover - defensive
+                        if out == _LOCAL:
+                            moves.append((queue, packet, node, -1))
+                        else:
+                            neighbor = self._neighbor(node, out)
+                            entry = self._entry_port(out)
+                            if neighbor != packet.dest and \
+                                    not self.ports[neighbor][entry].has_space(
+                                        packet.vc):
+                                continue
+                            moves.append((queue, packet, neighbor, entry))
+                        lanes[lane_idx] = now + packet.flits
+                        self.stats.link_busy_cycles += packet.flits
+                        self._rr[rr_key] = (start + k + 1) % len(queues)
+                        granted_queues.add(id(queue))
+                        granted += 1
+                        break
+        seen = set()
+        for queue, packet, target, entry in moves:
+            if id(packet) in seen:  # pragma: no cover - defensive
+                continue
+            seen.add(id(packet))
+            queue.popleft()
+            if entry >= 0:
+                packet.hops += 1
+            if entry < 0 or target == packet.dest:
+                # Arrival at the destination router delivers in the same
+                # cycle as the final hop: the control header launched one
+                # cycle ahead (Section 3) already did wakeup, so ejection
+                # adds no extra cycle.
+                packet.delivered = now + 1
+                self._delivery[target].append(packet)
+                self.stats.delivered += 1
+                self.stats.total_hops += packet.hops
+                self.stats.total_queue_cycles += packet.queue_cycles
+            else:
+                self.ports[target][entry].push(packet)
+        self.cycle_count += 1

@@ -1,0 +1,212 @@
+"""The next-block predictor (Section 3.1).
+
+TRIPS predicts *block exits*, not branch directions: each block ends in
+exactly one fired branch carrying a 3-bit exit number, so the predictor
+keeps exit histories instead of taken/not-taken bits.
+
+* **Exit predictor** — a tournament of a local and a gshare predictor
+  (like the Alpha 21264's direction predictor, but over 3-bit exits),
+  budgeted at 9K/16K/12K bits for local/global/choice.
+* **Target predictor** — a branch target buffer, a call target buffer, a
+  return address stack and a branch *type* predictor that selects among
+  them.  The type predictor is required by distributed fetch: the GT never
+  sees branch instructions (they go straight from ITs to ETs), so even the
+  kind of branch must be predicted.
+
+Histories and the RAS are updated speculatively at predict time; the GT
+checkpoints them per block and restores on a flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .config import PredictorConfig
+
+#: branch type codes (the btype predictor's alphabet).
+BT_BRANCH, BT_CALL, BT_RETURN = 0, 1, 2
+
+
+def _pow2_entries(bits: int, entry_bits: int) -> int:
+    entries = 1
+    while entries * 2 * entry_bits <= bits:
+        entries *= 2
+    return entries
+
+
+@dataclass
+class Checkpoint:
+    """Speculative predictor state snapshot, restored on flush."""
+
+    ghist: int
+    lhist_index: int
+    lhist_value: int
+    ras_top: int
+    ras_slot: Optional[int] = None     # RAS slot overwritten by a call push
+    ras_saved: int = 0                 # its pre-push contents
+
+
+@dataclass
+class Prediction:
+    target: int
+    exit_no: int
+    checkpoint: Checkpoint
+
+
+class _ExitTable:
+    """Exit + 2-bit-hysteresis entries."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self.exit = [0] * entries
+        self.conf = [0] * entries
+
+    def predict(self, index: int) -> int:
+        return self.exit[index % self.entries]
+
+    def update(self, index: int, actual: int) -> None:
+        index %= self.entries
+        if self.exit[index] == actual:
+            self.conf[index] = min(3, self.conf[index] + 1)
+        elif self.conf[index] > 0:
+            self.conf[index] -= 1
+        else:
+            self.exit[index] = actual
+            self.conf[index] = 1
+
+
+class NextBlockPredictor:
+    """Exit + target prediction for one thread."""
+
+    RAS_ENTRIES = 16
+
+    def __init__(self, config: Optional[PredictorConfig] = None):
+        self.config = config or PredictorConfig()
+        cfg = self.config
+        # 5 bits per exit entry (3-bit exit + 2-bit hysteresis) -> entries.
+        self.local = _ExitTable(_pow2_entries(cfg.local_bits, 5) or 1)
+        self.gshare = _ExitTable(_pow2_entries(cfg.global_bits, 5) or 1)
+        self.n_choice = _pow2_entries(cfg.choice_bits, 2) or 1
+        self.choice = [1] * self.n_choice            # weakly prefer gshare
+        self.n_lht = 512
+        self.lht = [0] * self.n_lht                  # per-block exit history
+        self.ghist = 0
+        self.hist_mask = (1 << (3 * cfg.exit_history_len)) - 1
+
+        self.n_btb = _pow2_entries(cfg.btb_bits, 32) or 1
+        self.btb: List[int] = [0] * self.n_btb
+        self.n_ctb = _pow2_entries(cfg.ctb_bits, 32) or 1
+        self.ctb: List[int] = [0] * self.n_ctb
+        self.n_btype = _pow2_entries(cfg.btype_bits, 2) or 1
+        self.btype = [BT_BRANCH] * self.n_btype
+        self.ras = [0] * self.RAS_ENTRIES
+        self.ras_top = 0
+
+        self.predictions = 0
+        self.exit_mispredicts = 0
+        self.target_mispredicts = 0
+
+    # ------------------------------------------------------------------
+    def _block_index(self, addr: int) -> int:
+        return (addr >> 7) & 0x7FFFFFFF
+
+    def _predict_exit(self, addr: int) -> int:
+        if self.config.kind == "static":
+            return 0
+        bi = self._block_index(addr)
+        lhist = self.lht[bi % self.n_lht]
+        local_exit = self.local.predict((bi ^ (lhist * 7)))
+        if self.config.kind == "gshare":
+            return self.gshare.predict(bi ^ self.ghist)
+        global_exit = self.gshare.predict(bi ^ self.ghist)
+        use_global = self.choice[bi % self.n_choice] >= 2
+        return global_exit if use_global else local_exit
+
+    def predict(self, addr: int, fallthrough: int) -> Prediction:
+        """Predict the next block address after ``addr``.
+
+        ``fallthrough`` is the address of the next sequential block (used
+        as the call link address and as the fallback target).
+        """
+        self.predictions += 1
+        bi = self._block_index(addr)
+        exit_no = self._predict_exit(addr)
+        checkpoint = Checkpoint(
+            ghist=self.ghist,
+            lhist_index=bi % self.n_lht,
+            lhist_value=self.lht[bi % self.n_lht],
+            ras_top=self.ras_top,
+        )
+        # Speculative history update with the predicted exit.
+        self._push_history(bi, exit_no)
+
+        btype = self.btype[(bi ^ exit_no) % self.n_btype] \
+            if self.config.kind != "static" else BT_BRANCH
+        if btype == BT_RETURN:
+            self.ras_top = (self.ras_top - 1) % self.RAS_ENTRIES
+            target = self.ras[self.ras_top]
+        elif btype == BT_CALL:
+            target = self.ctb[bi % self.n_ctb] or fallthrough
+            checkpoint.ras_slot = self.ras_top
+            checkpoint.ras_saved = self.ras[self.ras_top]
+            self.ras[self.ras_top] = fallthrough
+            self.ras_top = (self.ras_top + 1) % self.RAS_ENTRIES
+        else:
+            target = self.btb[(bi ^ exit_no) % self.n_btb] or fallthrough
+        return Prediction(target=target or fallthrough, exit_no=exit_no,
+                          checkpoint=checkpoint)
+
+    def _push_history(self, bi: int, exit_no: int) -> None:
+        self.ghist = ((self.ghist << 3) | exit_no) & self.hist_mask
+        idx = bi % self.n_lht
+        self.lht[idx] = ((self.lht[idx] << 3) | exit_no) & self.hist_mask
+
+    def note_actual(self, bi: int, exit_no: int) -> None:
+        """Re-push the architecturally-correct exit after a checkpoint
+        restore (mispredict repair)."""
+        self._push_history(bi, exit_no)
+
+    # ------------------------------------------------------------------
+    def restore(self, checkpoint: Checkpoint) -> None:
+        """Undo speculative history/RAS updates after a flush."""
+        self.ghist = checkpoint.ghist
+        self.lht[checkpoint.lhist_index] = checkpoint.lhist_value
+        if checkpoint.ras_slot is not None:
+            self.ras[checkpoint.ras_slot] = checkpoint.ras_saved
+        self.ras_top = checkpoint.ras_top
+
+    def train(self, addr: int, actual_exit: int, actual_target: int,
+              btype: int, predicted_exit: int, predicted_target: int,
+              lhist_at_predict: int) -> None:
+        """Commit-time update with the architecturally-resolved outcome."""
+        if self.config.kind == "static":
+            return
+        bi = self._block_index(addr)
+        local_index = bi ^ (lhist_at_predict * 7)
+        global_index = bi ^ self._ghist_at(bi)
+        local_was = self.local.predict(local_index)
+        global_was = self.gshare.predict(global_index)
+        self.local.update(local_index, actual_exit)
+        self.gshare.update(global_index, actual_exit)
+        if (local_was == actual_exit) != (global_was == actual_exit):
+            ci = bi % self.n_choice
+            if global_was == actual_exit:
+                self.choice[ci] = min(3, self.choice[ci] + 1)
+            else:
+                self.choice[ci] = max(0, self.choice[ci] - 1)
+        self.btype[(bi ^ actual_exit) % self.n_btype] = btype
+        if btype == BT_CALL:
+            self.ctb[bi % self.n_ctb] = actual_target
+        elif btype == BT_BRANCH:
+            self.btb[(bi ^ actual_exit) % self.n_btb] = actual_target
+        if predicted_exit != actual_exit:
+            self.exit_mispredicts += 1
+        if predicted_target != actual_target:
+            self.target_mispredicts += 1
+
+    def _ghist_at(self, bi: int) -> int:
+        # Training uses the current global history as an approximation of
+        # the history at prediction time; with in-order commit and
+        # checkpoint repair the drift is bounded by the window depth.
+        return self.ghist

@@ -1,0 +1,736 @@
+"""tsim-proc: the cycle-level model of one TRIPS processor core.
+
+Organization: the operand network is a cycle-stepped 5x5 wormhole mesh
+(:mod:`repro.uarch.mesh`); ETs/RTs/DTs are explicit tile objects
+(:mod:`repro.uarch.tiles`); the GT — fetch pipeline, next-block predictor,
+block window, completion/flush/commit sequencing — lives here.
+
+Control-network timing convention: the GDN/GCN/GSN/GRN/DSN links connect
+nearest neighbours and move one hop per cycle with no contention (the paper
+measures their occupancy as insignificant, Section 5.2), so their latencies
+are *computed analytically* — e.g. the register-write completion signal
+daisy-chains across the RTs toward the GT, so it lands at
+``max_b(bank_done[b] + hops(b))`` — rather than stepped link by link.  The
+operand and dispatch traffic, where contention matters, is modelled
+packet by packet.
+
+Protocol timeline per block (Sections 4.1-4.4):
+
+* **fetch**: predict (3) + tag (1) + hit/miss (1), then 8 pipelined GDN
+  dispatch commands; each IT streams 4 instructions/cycle east across its
+  row, one hop per cycle.  Peak: a new block every 8 cycles.
+* **execute**: dataflow; operands hop the OPN at one cycle per hop with a
+  local bypass for same-ET consumers.
+* **flush**: GCN wave with a block mask; we apply state changes eagerly and
+  drop in-flight packets of flushed blocks by uid (the wave's predictable
+  latency guarantees dispatch can never pass it, which eager application
+  preserves).
+* **commit**: completion (GSN daisy-chains + DSN store counting + one
+  branch at the GT), pipelined GCN commit commands, commit acknowledgment
+  back over the GSN, then deallocation and refetch into the freed frame.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..isa import (
+    EXIT_ADDRESS,
+    NUM_ARCH_REGS,
+    OpClass,
+    Program,
+    TripsBlock,
+)
+from ..mem.backing import BackingStore
+from .caches import CacheBank
+from .config import PROTOTYPE, TripsConfig
+from .mesh import Packet, WormholeMesh
+from .predictor import BT_BRANCH, NextBlockPredictor, Prediction
+from .tiles import BranchMsg, DataTile, ExecTile, MemRequest, OperandMsg, RegTile
+from .trace import BlockEvent, Trace
+
+
+class ProcError(RuntimeError):
+    """Deadlock, budget exhaustion, or an internal invariant failure."""
+
+
+# ----------------------------------------------------------------------
+class DecodedBlock:
+    """Pre-decoded block: dispatch schedule and lookup tables."""
+
+    def __init__(self, block: TripsBlock, addr: int):
+        self.block = block
+        self.addr = addr
+        self.fallthrough = addr + block.size_bytes
+        self.store_mask = block.store_mask
+        self.store_lsids = frozenset(
+            l for l in range(32) if (self.store_mask >> l) & 1)
+        self.write_reg_by_slot = {s: w.reg for s, w in block.writes.items()}
+        self.write_regs_by_bank = [[] for _ in range(4)]
+        for slot, w in sorted(block.writes.items()):
+            self.write_regs_by_bank[slot // 8].append(w.reg)
+        self.reads_by_slot = sorted(block.reads.items())
+        # body instructions grouped by ET row for GDN streaming
+        self.rows: List[List[Tuple[int, object]]] = [[] for _ in range(4)]
+        for slot, inst in sorted(block.body.items()):
+            et = slot % 16
+            self.rows[et // 4].append((slot, inst))
+        # GDN occupancy: each IT streams 4 instructions/cycle, so the
+        # dispatch pipe is busy for as long as the fullest IT streams
+        # (8 cycles for a maximal 128-instruction block)
+        header_words = max([s + 1 for s, _ in self.reads_by_slot]
+                           + [s + 1 for s in block.writes] + [0])
+        fullest = max([header_words] + [len(r) for r in self.rows])
+        self.dispatch_cycles = max(2, -(-fullest // 4))
+
+
+@dataclass
+class BlockInst:
+    """One in-flight block."""
+
+    uid: int
+    seq: int
+    addr: int
+    frame: int
+    decoded: DecodedBlock
+    fetch_t: int
+    dispatch_start: int
+    dispatch_done: int = -1
+    # prediction made for this block's successor
+    pred_for_next: Optional[Prediction] = None
+    pred_ready_t: int = -1
+    lhist_at_predict: int = 0
+    resolved_next: Optional[int] = None
+    branch_exit: int = -1
+    branch_btype: int = BT_BRANCH
+    branch_t: int = -1
+    branch_key: Optional[Tuple] = None
+    # completion tracking
+    rt_reports: Dict[int, Tuple[int, Optional[Tuple]]] = field(
+        default_factory=dict)                  # bank -> (t, producer key)
+    regs_done_t: int = -1
+    regs_done_key: Optional[Tuple] = None
+    stores_seen: Set[int] = field(default_factory=set)
+    last_store_arrival: Optional[Tuple[int, int]] = None
+    stores_done_t: int = -1
+    stores_done_key: Optional[Tuple] = None
+    completed_t: int = -1
+    commit_sent_t: int = -1
+    ack_t: int = -1
+    fired: int = 0
+    reads_count: int = 0
+
+
+@dataclass
+class ProcStats:
+    cycles: int = 0
+    blocks_committed: int = 0
+    blocks_flushed: int = 0
+    blocks_fetched: int = 0
+    insts_committed: int = 0
+    reads_committed: int = 0
+    flushes_mispredict: int = 0
+    flushes_violation: int = 0
+    icache_miss_blocks: int = 0
+    deferred_loads: int = 0
+    lsq_peak: int = 0
+    # per-micronetwork message counts (Section 5.2's occupancy argument)
+    gdn_messages: int = 0       # dispatched header words + instructions
+    gcn_messages: int = 0       # commit + flush commands
+    gsn_messages: int = 0       # completion reports + commit acks
+    grn_messages: int = 0       # I-cache refill commands
+    dsn_messages: int = 0       # store-arrival broadcasts between DTs
+    opn_messages: int = 0       # operand/memory/branch packets
+
+    @property
+    def ipc(self) -> float:
+        return self.insts_committed / self.cycles if self.cycles else 0.0
+
+    def network_traffic(self) -> Dict[str, int]:
+        """Estimated bit volume per micronetwork (messages x link bits)."""
+        bits = {"GDN": 205, "GCN": 13, "GSN": 6, "GRN": 36, "DSN": 72,
+                "OPN": 141}
+        counts = {"GDN": self.gdn_messages, "GCN": self.gcn_messages,
+                  "GSN": self.gsn_messages, "GRN": self.grn_messages,
+                  "DSN": self.dsn_messages, "OPN": self.opn_messages}
+        return {net: counts[net] * bits[net] for net in bits}
+
+
+# ----------------------------------------------------------------------
+class TripsProcessor:
+    """One 16-wide TRIPS core executing one single-threaded program."""
+
+    GT_COORD = (0, 0)
+
+    def __init__(self, program: Program, config: TripsConfig = PROTOTYPE,
+                 trace: bool = False, memory: Optional[BackingStore] = None,
+                 sysmem=None, sysmem_port_base: int = 0):
+        """``memory``/``sysmem`` may be supplied externally to share them
+        between the chip's two cores (see :class:`repro.chip.TripsChip`);
+        ``sysmem_port_base`` selects which OCN ports this core's IT/DT
+        pairs own (0 for processor 0, 4 for processor 1)."""
+        program.validate()
+        self.program = program
+        self.config = config
+        self.cycle = 0
+        self.memory = memory if memory is not None else BackingStore()
+        self.memory.load_image(program.memory_image())
+        self.regs: List[int] = [0] * NUM_ARCH_REGS
+        for reg, value in program.initial_regs.items():
+            self.regs[reg] = value & (2**64 - 1)
+
+        self.opn = WormholeMesh(5, 5, queue_depth=config.opn_router_depth,
+                                lanes=config.opn_links_per_hop)
+        # detailed NUCA secondary memory (only stepped when L2 is modelled)
+        self.sysmem_port_base = sysmem_port_base
+        self._owns_sysmem = sysmem is None
+        if sysmem is not None:
+            self.sysmem = sysmem
+        elif config.perfect_l2:
+            self.sysmem = None
+        else:
+            from ..mem.sysmem import SecondaryMemory, SysMemConfig
+            self.sysmem = SecondaryMemory(
+                SysMemConfig(dram_cycles=config.dram_cycles),
+                backing=self.memory)
+        self.ets = [ExecTile(self, i) for i in range(16)]
+        self.rts = [RegTile(self, b) for b in range(4)]
+        self.dts = [DataTile(self, d) for d in range(4)]
+        self.icache = [CacheBank(config.l1i_bank_kb * 1024, config.l1i_assoc,
+                                 128) for _ in range(5)]
+        self.predictor = NextBlockPredictor(config.predictor)
+
+        self._decoded: Dict[int, DecodedBlock] = {}
+        self._events: List[Tuple[int, int, object]] = []
+        self._event_seq = 0
+        self.trace: Optional[Trace] = Trace() if trace else None
+
+        # block window
+        self.window: List[BlockInst] = []       # ordered by seq
+        self.window_by_uid: Dict[int, BlockInst] = {}
+        self.live_uids: Set[int] = set()
+        self.free_frames = set(range(config.max_blocks_in_flight))
+        self.next_uid = 0
+        self.next_seq = 0
+        self.store_arrivals: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self.committed_seqs: Set[int] = set()
+
+        self.dispatch_pipe_free = 0
+        self.frame_freed: Dict[int, Tuple[int, Optional[int]]] = {}
+        self.halted = False
+        self.halt_uid = -1
+        self.stats = ProcStats()
+        # bootstrap: first fetch has no prediction; its address is the entry
+        self._pending_fetch_addr: Optional[int] = program.entry
+        self._pending_fetch_cause: Tuple = ("init",)
+
+    # ------------------------------------------------------------------
+    # coordinates / helpers used by the tiles
+    # ------------------------------------------------------------------
+    def et_coord(self, et: int) -> Tuple[int, int]:
+        return (1 + et // 4, 1 + et % 4)
+
+    def rt_coord(self, bank: int) -> Tuple[int, int]:
+        return (0, 1 + bank)
+
+    def dt_coord_for(self, address: int) -> Tuple[int, int]:
+        return (1 + self.dt_index(address), 0)
+
+    def dt_index(self, address: int) -> int:
+        return (address >> 6) % 4
+
+    def l2_latency(self, address: int) -> int:
+        return self.config.l2_hit_cycles     # detailed NUCA path: repro.mem
+
+    def schedule(self, at_cycle: int, fn) -> None:
+        self._event_seq += 1
+        heapq.heappush(self._events, (max(at_cycle, self.cycle + 1),
+                                      self._event_seq, fn))
+
+    def older_blocks(self, seq: int):
+        """In-flight blocks older than ``seq``, youngest first."""
+        for block in reversed(self.window):
+            if block.seq < seq:
+                yield block
+
+    def decoded_at(self, addr: int) -> DecodedBlock:
+        decoded = self._decoded.get(addr)
+        if decoded is None:
+            decoded = DecodedBlock(self.program.block_at(addr), addr)
+            self._decoded[addr] = decoded
+        return decoded
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self) -> ProcStats:
+        cfg = self.config
+        while not self.halted:
+            if self.cycle >= cfg.max_cycles:
+                raise ProcError(
+                    f"cycle budget {cfg.max_cycles} exhausted "
+                    f"(pc window: {[hex(b.addr) for b in self.window]})")
+            self.step()
+        self.stats.cycles = self.cycle
+        self.stats.opn_messages = self.opn.stats.injected
+        return self.stats
+
+    def step(self) -> None:
+        t = self.cycle
+        # phase A: timed events (completions, dispatch arrivals, commits)
+        while self._events and self._events[0][0] <= t:
+            _, _, fn = heapq.heappop(self._events)
+            fn()
+        # phase B: operand network deliveries
+        self._deliver_packets(t)
+        # phase C: tile work
+        for rt in self.rts:
+            rt.tick(t)
+        for et in self.ets:
+            et.tick(t)
+        for dt in self.dts:
+            dt.tick(t)
+        self._gt_tick(t)
+        # phase D: network advance (OPN, and the OCN when owned)
+        self.opn.step()
+        if self.sysmem is not None:
+            if self._owns_sysmem:
+                self.sysmem.step()
+            self.poll_sysmem()
+        self.cycle += 1
+
+    def poll_sysmem(self) -> None:
+        """Collect OCN responses for this core's ports."""
+        for dt in self.dts:
+            for fn in self.sysmem.take_responses(
+                    self.sysmem_port_base + dt.index):
+                fn()
+
+    def _deliver_packets(self, t: int) -> None:
+        for et in self.ets:
+            for pkt in self.opn.take_delivered(et.coord):
+                msg = pkt.payload
+                et.deliver_operand(msg, t, pkt.hops, pkt.queue_cycles)
+        for rt in self.rts:
+            for pkt in self.opn.take_delivered(rt.coord):
+                rt.deliver_write(pkt.payload, t)
+        for dt in self.dts:
+            for pkt in self.opn.take_delivered(dt.coord):
+                dt.deliver_request(pkt.payload, pkt.hops, pkt.queue_cycles, t)
+        for pkt in self.opn.take_delivered(self.GT_COORD):
+            self._on_branch(pkt.payload, t)
+
+    # ------------------------------------------------------------------
+    # GT: fetch
+    # ------------------------------------------------------------------
+    def _gt_tick(self, t: int) -> None:
+        self._try_fetch(t)
+        self._try_commit(t)
+
+    def _next_fetch_target(self, t: int) -> Optional[Tuple[int, Tuple]]:
+        """(address, trace-cause) of the next block to fetch, if known.
+
+        The cause tuple's last element is the cycle the address became
+        known, which the critical-path walker compares against frame
+        availability to decide whether fetch was prediction-bound (IFetch)
+        or window-bound (Block Commit).
+        """
+        if self._pending_fetch_addr is not None:
+            return self._pending_fetch_addr, self._pending_fetch_cause
+        if not self.window:
+            return None
+        tail = self.window[-1]
+        if tail.resolved_next is not None:
+            if tail.resolved_next == EXIT_ADDRESS:
+                return None
+            return tail.resolved_next, ("resolved", tail.uid, tail.branch_t)
+        if tail.pred_for_next is not None and t >= tail.pred_ready_t:
+            target = tail.pred_for_next.target
+            if target == EXIT_ADDRESS:
+                return None                     # predicted program end
+            unresolved = sum(1 for b in self.window
+                             if b.resolved_next is None)
+            if unresolved > self.config.speculative_blocks:
+                return None                     # speculation depth limit
+            return target, ("pred", tail.uid, tail.pred_ready_t)
+        return None
+
+    def _try_fetch(self, t: int) -> None:
+        if not self.free_frames:
+            return
+        # Don't claim a window slot while the dispatch pipe is backlogged:
+        # a frame parked behind the GDN does no work and just shrinks the
+        # effective in-flight window.
+        if self.dispatch_pipe_free > t + self.config.predict_cycles + 2:
+            return
+        nxt = self._next_fetch_target(t)
+        if nxt is None:
+            return
+        addr, cause = nxt
+        if addr not in self.program.blocks:
+            # A wild predicted target: treat as unpredictable; wait for
+            # branch resolution (hardware would fetch garbage and flush).
+            if cause[0] == "pred":
+                return
+            raise ProcError(f"fetch from invalid address {addr:#x}")
+        decoded = self.decoded_at(addr)
+        frame = min(self.free_frames)
+        self.free_frames.discard(frame)
+        self._pending_fetch_addr = None
+        # was this fetch waiting on the frame (window full -> commit-bound)
+        # or on the address (prediction / resolution -> fetch-bound)?
+        frame_info = self.frame_freed.get(frame)
+        addr_known_t = cause[-1] if isinstance(cause[-1], int) else 0
+        if frame_info is not None and frame_info[0] > addr_known_t:
+            cause = ("frame", frame_info[1], frame_info[0])
+
+        uid = self.next_uid
+        self.next_uid += 1
+        seq = self.next_seq
+        self.next_seq += 1
+
+        # I-cache: every chunk's IT bank must hold its line.
+        miss_its = [k for k in range(1 + decoded.block.num_body_chunks)
+                    if not self.icache[k].lookup(addr)]
+        dispatch_start = max(t + 5, self.dispatch_pipe_free)
+        if miss_its:
+            self.stats.icache_miss_blocks += 1
+            self.stats.grn_messages += len(miss_its)
+            fill_done = 0
+            for k in miss_its:
+                # GRN broadcast (1 + k hops) + line fetch + GSN chain north
+                fill = t + 1 + k + self.config.l2_hit_cycles
+                self.icache[k].fill(addr)
+                fill_done = max(fill_done, fill + k + 1)
+            dispatch_start = max(dispatch_start, fill_done)
+        self.dispatch_pipe_free = dispatch_start + min(
+            self.config.dispatch_commands, decoded.dispatch_cycles)
+
+        block = BlockInst(uid=uid, seq=seq, addr=addr, frame=frame,
+                          decoded=decoded, fetch_t=t,
+                          dispatch_start=dispatch_start)
+        self.window.append(block)
+        self.window_by_uid[uid] = block
+        self.live_uids.add(uid)
+        self.stats.blocks_fetched += 1
+
+        # prediction for this block's successor overlaps its dispatch
+        bi = (addr >> 7)
+        block.lhist_at_predict = self.predictor.lht[
+            bi % self.predictor.n_lht]
+        block.pred_for_next = self.predictor.predict(addr,
+                                                     decoded.fallthrough)
+        block.pred_ready_t = t + self.config.predict_cycles
+
+        self._schedule_dispatch(block)
+        if self.trace is not None:
+            self.trace.blocks[uid] = BlockEvent(
+                uid=uid, addr=addr, seq=seq, cause=cause, fetch_t=t)
+
+    def _schedule_dispatch(self, block: BlockInst) -> None:
+        """GDN streaming: header words to RTs, body rows to ETs."""
+        t_d = block.dispatch_start
+        last = t_d
+        decoded = block.decoded
+        # header: IT0's command at t_d+1; 4 words/cycle; word j covers
+        # read slot j and write slot j; bank b sits 2+b hops east.
+        for bank in range(4):
+            decl_t = t_d + 2 + bank
+            regs = decoded.write_regs_by_bank[bank]
+            self.schedule(decl_t, lambda b=bank, u=block.uid, r=regs,
+                          tt=decl_t: self.rts[b].declare_writes(u, r, tt))
+            last = max(last, decl_t)
+        self.stats.gdn_messages += (len(decoded.reads_by_slot)
+                                    + len(decoded.block.body) + 4)
+        for slot, read in decoded.reads_by_slot:
+            arrive = t_d + 2 + slot // 4 + (slot // 8) + 2
+            self.schedule(arrive, lambda s=slot, rd=read, u=block.uid,
+                          tt=arrive: self.rts[s // 8].dispatch_read(
+                              u, s, rd, tt))
+            block.reads_count += 1
+            last = max(last, arrive)
+        # body rows: IT (k+1) gets its command at t_d + 2 + k; then 4
+        # instructions per cycle, each one hop east per column.
+        for row in range(4):
+            base = t_d + 2 + (row + 1)
+            for n, (slot, inst) in enumerate(decoded.rows[row]):
+                et = slot % 16
+                col = et % 4
+                arrive = base + 1 + n // 4 + (col + 1)
+                self.schedule(arrive, lambda s=slot, i=inst, u=block.uid,
+                              q=block.seq, e=et, tt=arrive:
+                              self.ets[e].dispatch_inst(u, q, s, i, tt))
+                last = max(last, arrive)
+        block.dispatch_done = last
+        self.schedule(last, lambda b=block: self._dispatch_done(b))
+
+    def _dispatch_done(self, block: BlockInst) -> None:
+        if block.uid not in self.live_uids:
+            return
+        if self.trace is not None and block.uid in self.trace.blocks:
+            self.trace.blocks[block.uid].dispatch_done_t = self.cycle
+        # blocks with no stores: the DTs learn the (empty) store mask from
+        # the dispatched header and can signal store completion immediately
+        self._check_stores_done(block)
+
+    # ------------------------------------------------------------------
+    # GT: completion detection (protocol phase 1)
+    # ------------------------------------------------------------------
+    def rt_reports_writes_done(self, bank: int, block_uid: int, t: int,
+                               producer_key=None) -> None:
+        block = self.window_by_uid.get(block_uid)
+        if block is None:
+            return
+        self.stats.gsn_messages += 1
+        block.rt_reports[bank] = (t, producer_key)
+        if len(block.rt_reports) == 4:
+            # GSN daisy-chain toward the GT: bank b is b+1 hops out
+            done_t, key = max(
+                ((rt + b + 1, k) for b, (rt, k) in block.rt_reports.items()),
+                key=lambda p: p[0])
+            block.regs_done_t = done_t
+            block.regs_done_key = key
+            self._check_complete(block)
+
+    def note_store_arrival(self, msg: MemRequest, src_dt: int, t: int) -> None:
+        self.stats.dsn_messages += 3     # broadcast to the other three DTs
+        self.store_arrivals[(msg.seq, msg.lsid)] = (t, src_dt)
+        block = self.window_by_uid.get(msg.block_uid)
+        if block is None:
+            return
+        block.stores_seen.add(msg.lsid)
+        block.stores_done_key = msg.producer_key
+        block.last_store_arrival = (t, src_dt)
+        self._check_stores_done(block)
+
+    def _check_stores_done(self, block: BlockInst) -> None:
+        if block.stores_done_t >= 0:
+            return
+        if block.stores_seen >= block.decoded.store_lsids:
+            if block.last_store_arrival is None:
+                # no stores: DT0 signals once the dispatched mask is known
+                block.stores_done_t = block.dispatch_start + 3 + 1
+            else:
+                t, src = block.last_store_arrival
+                # DSN to DT0 (src hops) + GSN to the GT (1 hop)
+                block.stores_done_t = t + src + 1
+            self._check_complete(block)
+
+    def _on_branch(self, msg: BranchMsg, t: int) -> None:
+        block = self.window_by_uid.get(msg.block_uid)
+        if block is None:
+            return
+        if block.resolved_next is not None:
+            raise ProcError(f"block {block.addr:#x} fired two branches")
+        block.resolved_next = msg.target
+        block.branch_exit = msg.exit_no
+        block.branch_btype = msg.btype
+        block.branch_t = t
+        block.branch_key = msg.producer_key
+        # mispredict detection: did we fetch (or will we fetch) the wrong
+        # successor?
+        predicted = block.pred_for_next.target if block.pred_for_next else None
+        younger = [b for b in self.window if b.seq > block.seq]
+        if younger and younger[0].addr != msg.target:
+            self._flush_after(block, msg.target, "mispredict", t)
+        elif not younger and predicted is not None and predicted != msg.target:
+            # prediction not yet consumed: repair history silently
+            self.predictor.restore(block.pred_for_next.checkpoint)
+            self.predictor.note_actual((block.addr >> 7), msg.exit_no)
+        self._check_complete(block)
+
+    def _check_complete(self, block: BlockInst) -> None:
+        if block.completed_t >= 0 or block.uid not in self.live_uids:
+            return
+        if block.regs_done_t < 0 or block.stores_done_t < 0 \
+                or block.branch_t < 0:
+            return
+        parts = [(block.regs_done_t, ("regs", block.regs_done_key)),
+                 (block.stores_done_t, ("stores", block.stores_done_key)),
+                 (block.branch_t, ("branch", block.branch_key))]
+        block.completed_t, reason = max(parts, key=lambda p: p[0])
+        block.completed_t = max(block.completed_t, self.cycle)
+        if self.trace is not None and block.uid in self.trace.blocks:
+            ev = self.trace.blocks[block.uid]
+            ev.completed_t = block.completed_t
+            ev.complete_reason = reason
+
+    # ------------------------------------------------------------------
+    # GT: commit (protocol phases 2 and 3)
+    # ------------------------------------------------------------------
+    def _try_commit(self, t: int) -> None:
+        # Pipelined commit (Section 4.4): a commit command may be sent for
+        # a block as soon as commands for all older blocks have been sent —
+        # the loop walks oldest-first and stops at the first non-committable.
+        for block in self.window:
+            if block.commit_sent_t >= 0:
+                continue
+            if block.completed_t < 0 or t < block.completed_t:
+                break
+            block.commit_sent_t = t
+            self._send_commit(block, t)
+
+    def _send_commit(self, block: BlockInst, t: int) -> None:
+        self.stats.gcn_messages += 1
+        self.stats.gsn_messages += 8     # per-tile commit acknowledgments
+        # GCN wave: RT bank b at b+1 hops, DT d at d+1 hops.  Each tile
+        # commits its architectural state (one write per port per cycle),
+        # then the commit-completion daisy-chain returns over the GSN.
+        rt_ack = 0
+        for bank, rt in enumerate(self.rts):
+            arrive = t + bank + 1
+            done = rt.commit_block(block.uid, arrive)
+            rt_ack = max(rt_ack, done + bank + 1)
+        dt_ack = 0
+        for d, dt in enumerate(self.dts):
+            arrive = t + d + 1
+            done = dt.commit_block(block.seq, arrive)
+            dt_ack = max(dt_ack, done + d + 1)
+        block.ack_t = max(rt_ack, dt_ack)
+        # the commit command also flushes the block's leftover speculative
+        # state in the ETs (un-issued predicated-path instructions)
+        for et in self.ets:
+            et.flush({block.uid})
+        for lsid in block.decoded.store_lsids:
+            self.store_arrivals.pop((block.seq, lsid), None)
+        self.committed_seqs.add(block.seq)
+        if self.trace is not None and block.uid in self.trace.blocks:
+            ev = self.trace.blocks[block.uid]
+            ev.commit_t = t
+            ev.ack_t = block.ack_t
+            ev.outcome = "committed"
+        self.schedule(block.ack_t, lambda b=block: self._deallocate(b))
+
+    def _deallocate(self, block: BlockInst) -> None:
+        if block.uid not in self.live_uids:
+            return
+        self.live_uids.discard(block.uid)
+        self.window_by_uid.pop(block.uid, None)
+        self.window = [b for b in self.window if b.uid != block.uid]
+        self.free_frames.add(block.frame)
+        self.frame_freed[block.frame] = (self.cycle, block.uid)
+        for rt in self.rts:
+            rt.deallocate(block.uid)
+        self.stats.blocks_committed += 1
+        self.stats.insts_committed += block.fired
+        self.stats.reads_committed += block.reads_count
+        # predictor training with the architectural outcome
+        self.predictor.train(
+            block.addr, block.branch_exit, block.resolved_next,
+            block.branch_btype,
+            block.pred_for_next.exit_no if block.pred_for_next else 0,
+            block.pred_for_next.target if block.pred_for_next else 0,
+            block.lhist_at_predict)
+        if block.resolved_next == EXIT_ADDRESS:
+            self.halted = True
+            self.halt_uid = block.uid
+            if self.trace is not None:
+                self.trace.final_block_uid = block.uid
+
+    # ------------------------------------------------------------------
+    # flush protocol
+    # ------------------------------------------------------------------
+    def request_violation_flush(self, seq: int, dt_index: int, t: int) -> None:
+        """A DT detected a load-ordering violation in block ``seq``."""
+        victim = next((b for b in self.window if b.seq == seq), None)
+        if victim is None:
+            return
+        self.stats.flushes_violation += 1
+        # GSN notification from the DT to the GT costs dt_index+1 hops;
+        # we apply eagerly and charge the latency on the refetch.
+        self._flush_from(victim, victim.addr, "violation", t + dt_index + 1)
+
+    def _flush_after(self, block: BlockInst, correct_target: int,
+                     reason: str, t: int) -> None:
+        """Flush every block younger than ``block``; refetch the target."""
+        self.stats.flushes_mispredict += 1
+        doomed = [b for b in self.window if b.seq > block.seq]
+        self._do_flush(block, doomed, correct_target, reason, t)
+
+    def _flush_from(self, victim: BlockInst, refetch: int, reason: str,
+                    t: int) -> None:
+        doomed = [b for b in self.window if b.seq >= victim.seq]
+        older = next((b for b in self.window if b.seq == victim.seq - 1), None)
+        # The victim's own address is only an authoritative refetch target
+        # when nothing older survives (the victim was the non-speculative
+        # head).  Otherwise the surviving tail's branch resolution decides:
+        # the victim may have been a wrong-path block whose "address" must
+        # not override the predecessor's eventual resolution.
+        survivors = [b for b in self.window if b.seq < victim.seq]
+        self._do_flush(older, doomed,
+                       refetch if not survivors else None, reason, t)
+
+    def _do_flush(self, keep_tail: Optional[BlockInst],
+                  doomed: List[BlockInst], new_target: Optional[int],
+                  reason: str, t: int) -> None:
+        """Flush ``doomed``; ``new_target`` pins the next fetch address
+        (None = let the surviving tail's prediction/resolution drive it)."""
+        if not doomed and new_target == EXIT_ADDRESS:
+            return
+        self.stats.gcn_messages += 1     # the flush wave
+        uids = {b.uid for b in doomed}
+        seqs = {b.seq for b in doomed}
+        # predictor repair: restore the oldest disturbed checkpoint, then
+        # push the architecturally-correct exit of the resolving block
+        restore_from = keep_tail if keep_tail is not None else None
+        if restore_from is not None and restore_from.pred_for_next:
+            self.predictor.restore(restore_from.pred_for_next.checkpoint)
+            if restore_from.branch_exit >= 0:
+                self.predictor.note_actual(restore_from.addr >> 7,
+                                           restore_from.branch_exit)
+        for block in doomed:
+            self.live_uids.discard(block.uid)
+            self.window_by_uid.pop(block.uid, None)
+            self.free_frames.add(block.frame)
+            self.frame_freed[block.frame] = (t, None)
+            self.stats.blocks_flushed += 1
+            if self.trace is not None and block.uid in self.trace.blocks:
+                self.trace.blocks[block.uid].outcome = "flushed"
+        self.window = [b for b in self.window if b.uid not in uids]
+        for et in self.ets:
+            et.flush(uids)
+        for rt in self.rts:
+            rt.flush(uids)
+        for dt in self.dts:
+            dt.flush(uids, seqs)
+        for key in [k for k in self.store_arrivals if k[0] in seqs]:
+            del self.store_arrivals[key]
+        resolver_key = keep_tail.branch_key if keep_tail is not None else None
+        if new_target is None or new_target == EXIT_ADDRESS:
+            self._pending_fetch_addr = None
+        else:
+            self._pending_fetch_addr = new_target
+            self._pending_fetch_cause = (f"flush_{reason}", resolver_key, t)
+        # the flush wave and refetch cannot overlap the doomed dispatches:
+        # the GDN pipe is serialized behind the flush point
+        self.dispatch_pipe_free = max(self.dispatch_pipe_free, t + 1)
+
+    # ------------------------------------------------------------------
+    # DT support: memory ordering
+    # ------------------------------------------------------------------
+    def prior_stores_arrived(self, key: Tuple[int, int], dt_index: int,
+                             t: int) -> bool:
+        """Have all program-order-earlier stores reached the LSQs, as
+        visible from DT ``dt_index`` through the DSN?"""
+        seq, lsid = key
+        for block in self.window:
+            if block.seq > seq:
+                break
+            if block.seq in self.committed_seqs:
+                continue
+            for s_lsid in block.decoded.store_lsids:
+                if (block.seq, s_lsid) >= key:
+                    continue
+                arrival = self.store_arrivals.get((block.seq, s_lsid))
+                if arrival is None:
+                    return False
+                arr_t, src = arrival
+                if arr_t + abs(src - dt_index) > t:
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    def architectural_state(self) -> Tuple[List[int], BackingStore]:
+        return self.regs, self.memory

@@ -1,0 +1,680 @@
+"""Execution, register and data tiles of the detailed model (Figure 4).
+
+Each tile class owns exactly the state its silicon counterpart holds and
+talks to the rest of the core only through messages (OPN packets) and the
+analytically-timed control networks managed by
+:class:`repro.uarch.proc.TripsProcessor` (see that module's docstring for
+the timing conventions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..isa import ACCESS_SIZE, OpClass, Opcode, OperandKind
+from ..isa.alu import execute
+from ..isa.opcodes import SIGNED_LOADS
+from ..tir.semantics import truncate_load
+from .lsq import DependencePredictor, LoadStoreQueue
+from .mesh import Packet
+
+MASK64 = (1 << 64) - 1
+
+
+# ----------------------------------------------------------------------
+# Messages carried as OPN packet payloads
+# ----------------------------------------------------------------------
+@dataclass
+class OperandMsg:
+    """A 64-bit operand (or null token) headed for one target."""
+
+    block_uid: int
+    target: object                 # body slot int, or ("W", write slot)
+    kind: OperandKind
+    value: int
+    is_null: bool
+    producer_key: Tuple
+    send_t: int
+
+
+@dataclass
+class MemRequest:
+    block_uid: int
+    seq: int
+    lsid: int
+    is_store: bool
+    address: Optional[int]         # None for nullified stores
+    size: int
+    data: int
+    is_null: bool
+    signed: bool
+    targets: Tuple                 # load reply destinations
+    producer_key: Tuple
+    send_t: int
+
+
+@dataclass
+class BranchMsg:
+    block_uid: int
+    exit_no: int
+    target: int
+    btype: int
+    producer_key: Tuple
+    send_t: int
+
+
+# ----------------------------------------------------------------------
+# Execution tile
+# ----------------------------------------------------------------------
+class _Station:
+    """One reservation station: an instruction plus its operand buffer."""
+
+    __slots__ = ("inst", "seq", "left", "right", "pred", "left_null",
+                 "right_null", "fired", "dead", "dispatch_t", "release",
+                 "ready_t")
+
+    def __init__(self):
+        self.inst = None
+        self.seq = -1
+        self.left = None
+        self.right = None
+        self.pred = None
+        self.left_null = False
+        self.right_null = False
+        self.fired = False
+        self.dead = False
+        self.dispatch_t = -1
+        self.release = ("dispatch", -1)
+        self.ready_t = -1
+
+    def ready(self) -> bool:
+        if self.inst is None or self.fired or self.dead:
+            return False
+        need = self.inst.opcode.num_operands
+        if need >= 1 and self.left is None:
+            return False
+        if need >= 2 and self.right is None:
+            return False
+        if self.inst.pred is not None and self.pred is None:
+            return False
+        return True
+
+
+class ExecTile:
+    """One of the 16 ETs: single-issue pipeline + 64 reservation stations."""
+
+    def __init__(self, proc, index: int):
+        self.proc = proc
+        self.index = index
+        self.coord = (1 + index // 4, 1 + index % 4)
+        self.stations: Dict[Tuple[int, int], _Station] = {}
+        self.candidates: set = set()
+        self.div_busy_until = 0
+        self.outbox: deque = deque()
+        self.issued = 0
+
+    # -- state arrival --------------------------------------------------
+    def _station(self, block_uid: int, slot: int) -> _Station:
+        key = (block_uid, slot)
+        station = self.stations.get(key)
+        if station is None:
+            station = _Station()
+            self.stations[key] = station
+        return station
+
+    def dispatch_inst(self, block_uid: int, seq: int, slot: int, inst,
+                      t: int) -> None:
+        if block_uid not in self.proc.live_uids:
+            return                       # flushed before its GDN stream ended
+        station = self._station(block_uid, slot)
+        station.inst = inst
+        station.seq = seq
+        station.dispatch_t = t
+        self._maybe_ready((block_uid, slot), station, ("dispatch", t))
+
+    def deliver_operand(self, msg: OperandMsg, t: int,
+                        hops: int = 0, queue: int = 0, local: bool = False) -> None:
+        if msg.block_uid not in self.proc.live_uids:
+            return                       # stale packet from a flushed block
+        station = self._station(msg.block_uid, msg.target)
+        if msg.kind is OperandKind.LEFT:
+            station.left = msg.value
+            station.left_null = msg.is_null
+        elif msg.kind is OperandKind.RIGHT:
+            station.right = msg.value
+            station.right_null = msg.is_null
+        else:
+            station.pred = (msg.value, msg.is_null)
+        release = ("local", msg.producer_key, t) if local else \
+            ("operand", msg.producer_key, msg.send_t, hops, queue, t)
+        self._maybe_ready((msg.block_uid, msg.target), station, release)
+
+    def _maybe_ready(self, key, station: _Station, release) -> None:
+        """Mark the station issue-ready if this arrival completed it.
+
+        ``release`` records the last-arriving requirement, which is what
+        the critical-path analyzer walks backwards along.
+        """
+        if station.ready():
+            station.release = release
+            station.ready_t = self.proc.cycle
+            self.candidates.add(key)
+
+    # -- issue ------------------------------------------------------------
+    def tick(self, t: int) -> None:
+        self._drain_outbox()
+        if not self.candidates:
+            return
+        best_key = None
+        best_order = None
+        for key in self.candidates:
+            station = self.stations.get(key)
+            if station is None or not station.ready():
+                continue
+            if station.inst.opcode is Opcode.DIVS and self.div_busy_until > t:
+                continue
+            order = (station.seq, key[1])
+            if best_order is None or order < best_order:
+                best_order = order
+                best_key = key
+        if best_key is None:
+            return
+        self.candidates.discard(best_key)
+        station = self.stations[best_key]
+        inst = station.inst
+        # Predicate check at issue: mismatch kills the instruction.
+        if inst.pred is not None:
+            pvalue, pnull = station.pred
+            if pnull or bool(pvalue & 1) != inst.pred:
+                station.dead = True
+                return
+        station.fired = True
+        self.issued += 1
+        block = self.proc.window_by_uid.get(best_key[0])
+        if block is not None:
+            block.fired += 1
+        latency = inst.opcode.latency
+        if inst.opcode is Opcode.DIVS:
+            self.div_busy_until = t + latency
+        if self.proc.trace is not None:
+            ev = self.proc.trace.inst(best_key, inst.opcode.mnemonic)
+            ev.et = self.index
+            ev.dispatch_t = station.dispatch_t
+            ev.ready_t = station.ready_t
+            ev.issue_t = t
+            ev.complete_t = t + latency
+            ev.release = station.release
+        self.proc.schedule(t + latency, lambda s=station, k=best_key:
+                           self._complete(k, s))
+
+    # -- completion / result routing ---------------------------------------
+    def _complete(self, key: Tuple[int, int], station: _Station) -> None:
+        t = self.proc.cycle
+        block_uid, slot = key
+        if block_uid not in self.proc.live_uids:
+            return
+        inst = station.inst
+        opclass = inst.opcode.opclass
+        if opclass is OpClass.BRANCH:
+            self._complete_branch(key, station, t)
+            return
+        if inst.opcode.is_memory:
+            self._complete_memory(key, station, t)
+            return
+        if opclass is OpClass.NULLIFY:
+            value, is_null = 0, True
+        elif station.left_null or station.right_null:
+            value, is_null = 0, True
+        else:
+            value = execute(inst, station.left, station.right)
+            is_null = False
+        for target in inst.targets:
+            self._route(key, target, value, is_null, t)
+
+    def _route(self, producer_key, target, value, is_null, t) -> None:
+        block_uid = producer_key[0]
+        if target.kind is OperandKind.WRITE:
+            msg = OperandMsg(block_uid, ("W", target.slot), target.kind,
+                             value, is_null, producer_key, t)
+            dest = self.proc.rt_coord(target.slot // 8)
+            self._send(msg, dest, t)
+            return
+        msg = OperandMsg(block_uid, target.slot, target.kind, value,
+                         is_null, producer_key, t)
+        consumer_et = target.slot % 16
+        if consumer_et == self.index:
+            # local bypass: usable for issue in the next cycle
+            self.deliver_operand(msg, t, local=True)
+        else:
+            self._send(msg, self.proc.et_coord(consumer_et), t)
+
+    def _complete_memory(self, key, station: _Station, t: int) -> None:
+        inst = station.inst
+        block = self.proc.window_by_uid.get(key[0])
+        if block is None:
+            return
+        if inst.opcode.is_store:
+            is_null = station.left_null or station.right_null
+            address = None if is_null else \
+                (station.left + inst.imm) & MASK64
+            msg = MemRequest(key[0], block.seq, inst.lsid, True, address,
+                             ACCESS_SIZE[inst.opcode],
+                             0 if is_null else station.right, is_null,
+                             False, (), key, t)
+        else:
+            if station.left_null:
+                # A nullified load produces null tokens for its consumers
+                # directly; it never reaches the DT (and loads are not
+                # block outputs, so nothing waits on it).
+                for target in inst.targets:
+                    self._route(key, target, 0, True, t)
+                return
+            address = (station.left + inst.imm) & MASK64
+            msg = MemRequest(key[0], block.seq, inst.lsid, False, address,
+                             ACCESS_SIZE[inst.opcode], 0, False,
+                             inst.opcode in SIGNED_LOADS,
+                             tuple(inst.targets), key, t)
+        dest = self.proc.dt_coord_for(0 if msg.address is None
+                                      else msg.address)
+        self._send(msg, dest, t)
+
+    def _complete_branch(self, key, station: _Station, t: int) -> None:
+        inst = station.inst
+        block = self.proc.window_by_uid.get(key[0])
+        if block is None:
+            return
+        from .predictor import BT_BRANCH, BT_CALL, BT_RETURN
+        if inst.opcode is Opcode.HALT:
+            target, btype = 0, BT_BRANCH
+        elif inst.opcode is Opcode.BRO:
+            target, btype = (block.addr + inst.offset) & MASK64, BT_BRANCH
+        elif inst.opcode is Opcode.CALLO:
+            target, btype = (block.addr + inst.offset) & MASK64, BT_CALL
+            if inst.targets:
+                link = (block.addr + block.decoded.block.size_bytes) & MASK64
+                self._route(key, inst.targets[0], link, False, t)
+        else:  # BR / RET
+            target = station.left & MASK64
+            btype = BT_RETURN if inst.opcode is Opcode.RET else BT_BRANCH
+        msg = BranchMsg(key[0], inst.exit_no, target, btype, key, t)
+        self._send(msg, self.proc.GT_COORD, t)
+
+    def _send(self, msg, dest, t) -> None:
+        packet = Packet(src=self.coord, dest=dest, payload=msg)
+        self.outbox.append(packet)
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> None:
+        while self.outbox:
+            if not self.proc.opn.inject(self.coord, self.outbox[0]):
+                return
+            self.outbox.popleft()
+
+    # -- flush -------------------------------------------------------------
+    def flush(self, uids) -> None:
+        for key in [k for k in self.stations if k[0] in uids]:
+            del self.stations[key]
+        self.candidates = {k for k in self.candidates if k[0] not in uids}
+        self.outbox = deque(p for p in self.outbox
+                            if p.payload.block_uid not in uids)
+
+
+# ----------------------------------------------------------------------
+# Register tile
+# ----------------------------------------------------------------------
+class _WriteEntry:
+    __slots__ = ("reg", "arrived", "value", "is_null", "producer_key",
+                 "arrive_t")
+
+    def __init__(self, reg: int):
+        self.reg = reg
+        self.arrived = False
+        self.value = 0
+        self.is_null = False
+        self.producer_key = None
+        self.arrive_t = -1
+
+
+class RegTile:
+    """One of the 4 RTs: a register bank + read and write queues."""
+
+    def __init__(self, proc, bank: int):
+        self.proc = proc
+        self.bank = bank
+        self.coord = (0, 1 + bank)
+        # block uid -> {reg -> _WriteEntry}
+        self.write_queues: Dict[int, Dict[int, _WriteEntry]] = {}
+        # reads waiting for an in-flight write: (block_uid, reg, read)
+        self.waiting_reads: List[Tuple[int, object]] = []
+        self.read_requests: deque = deque()
+        self.outbox: deque = deque()
+        self.expected_writes: Dict[int, int] = {}   # uid -> remaining count
+        self.commit_free_t = 0
+        self.forwards = 0
+        self.file_reads = 0
+
+    # -- dispatch ---------------------------------------------------------
+    def declare_writes(self, block_uid: int, regs: List[int], t: int) -> None:
+        if block_uid not in self.proc.live_uids:
+            return
+        queue = self.write_queues.setdefault(block_uid, {})
+        for reg in regs:
+            queue[reg] = _WriteEntry(reg)
+        self.expected_writes[block_uid] = len(regs)
+        if not regs:
+            self.proc.rt_reports_writes_done(self.bank, block_uid, t)
+
+    def dispatch_read(self, block_uid: int, read_slot: int, read, t: int) -> None:
+        self.read_requests.append((block_uid, read_slot, read, t))
+
+    # -- write value arrival ----------------------------------------------
+    def deliver_write(self, msg: OperandMsg, t: int) -> None:
+        if msg.block_uid not in self.proc.live_uids:
+            return
+        wslot = msg.target[1]
+        block = self.proc.window_by_uid[msg.block_uid]
+        reg = block.decoded.write_reg_by_slot[wslot]
+        entry = self.write_queues[msg.block_uid][reg]
+        if entry.arrived:
+            raise RuntimeError(
+                f"write slot {wslot} of block {msg.block_uid} written twice")
+        entry.arrived = True
+        entry.value = msg.value
+        entry.is_null = msg.is_null
+        entry.producer_key = msg.producer_key
+        entry.arrive_t = t
+        remaining = self.expected_writes[msg.block_uid] - 1
+        self.expected_writes[msg.block_uid] = remaining
+        if remaining == 0:
+            self.proc.rt_reports_writes_done(self.bank, msg.block_uid, t,
+                                             msg.producer_key)
+        self._wake_waiting(t)
+
+    def _wake_waiting(self, t: int) -> None:
+        # A woken read may target a write slot on this same RT, delivering
+        # locally and re-entering this method; moving the list out first
+        # gives each waiting entry exactly one owner.
+        pending, self.waiting_reads = self.waiting_reads, []
+        for item in pending:
+            if not self._try_read(item, t):
+                self.waiting_reads.append(item)
+
+    # -- read processing -----------------------------------------------------
+    def tick(self, t: int) -> None:
+        self._drain_outbox()
+        # two read ports per bank (Section 3.3)
+        for _ in range(2):
+            if not self.read_requests:
+                break
+            item = self.read_requests.popleft()
+            if not self._try_read(item, t):
+                self.waiting_reads.append(item)
+
+    def _try_read(self, item, t: int) -> bool:
+        block_uid, read_slot, read, dispatch_t = item
+        if block_uid not in self.proc.live_uids:
+            return True
+        block = self.proc.window_by_uid[block_uid]
+        # search write queues of older in-flight blocks, youngest first
+        for older in self.proc.older_blocks(block.seq):
+            queue = self.write_queues.get(older.uid)
+            if not queue or read.reg not in queue:
+                continue
+            entry = queue[read.reg]
+            if not entry.arrived:
+                return False                       # buffered until it lands
+            if entry.is_null:
+                continue                           # nullified: keep looking
+            if entry.arrive_t <= dispatch_t:
+                # the value was already waiting: the read was bound by its
+                # own GDN arrival, not by the producing instruction
+                release = ("dispatch", dispatch_t)
+            else:
+                release = ("regfwd", entry.producer_key, t, entry.arrive_t)
+            self._emit_read_value(block_uid, read_slot, read, entry.value,
+                                  release, t)
+            self.forwards += 1
+            return True
+        value = self.proc.regs[read.reg]
+        self.file_reads += 1
+        self._emit_read_value(block_uid, read_slot, read, value,
+                              ("dispatch", dispatch_t), t)
+        return True
+
+    def _emit_read_value(self, block_uid, read_slot, read, value, release,
+                         t) -> None:
+        key = (block_uid, ("R", read_slot))
+        if self.proc.trace is not None:
+            ev = self.proc.trace.inst(key, "read")
+            ev.dispatch_t = ev.dispatch_t if ev.dispatch_t >= 0 else t
+            ev.issue_t = t
+            ev.complete_t = t
+            ev.release = release
+        for target in read.targets:
+            if target.kind is OperandKind.WRITE:
+                dest = self.proc.rt_coord(target.slot // 8)
+                msg = OperandMsg(block_uid, ("W", target.slot), target.kind,
+                                 value, False, key, t)
+            else:
+                dest = self.proc.et_coord(target.slot % 16)
+                msg = OperandMsg(block_uid, target.slot, target.kind,
+                                 value, False, key, t)
+            if dest == self.coord:
+                self.deliver_write(msg, t)
+                continue
+            self.outbox.append(Packet(src=self.coord, dest=dest, payload=msg))
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> None:
+        while self.outbox:
+            if not self.proc.opn.inject(self.coord, self.outbox[0]):
+                return
+            self.outbox.popleft()
+
+    # -- commit / flush --------------------------------------------------------
+    def commit_block(self, block_uid: int, arrive_t: int) -> int:
+        """Write the block's register values; returns the finish time."""
+        queue = self.write_queues.get(block_uid, {})
+        writes = [e for e in queue.values() if e.arrived and not e.is_null]
+        for entry in writes:
+            self.proc.regs[entry.reg] = entry.value
+        start = max(arrive_t, self.commit_free_t)
+        done = start + max(1, len(writes))          # one write port
+        self.commit_free_t = done
+        return done
+
+    def deallocate(self, block_uid: int) -> None:
+        self.write_queues.pop(block_uid, None)
+        self.expected_writes.pop(block_uid, None)
+
+    def flush(self, uids) -> None:
+        for uid in uids:
+            self.write_queues.pop(uid, None)
+            self.expected_writes.pop(uid, None)
+        self.waiting_reads = [w for w in self.waiting_reads
+                              if w[0] not in uids]
+        self.read_requests = deque(r for r in self.read_requests
+                                   if r[0] not in uids)
+        self.outbox = deque(p for p in self.outbox
+                            if p.payload.block_uid not in uids)
+        # reads of surviving blocks that waited on a flushed block's write
+        # must retry (they will now see deeper state or the register file)
+        self._wake_waiting(self.proc.cycle)
+
+
+# ----------------------------------------------------------------------
+# Data tile
+# ----------------------------------------------------------------------
+class DataTile:
+    """One of the 4 DTs: L1D bank + LSQ copy + dependence predictor."""
+
+    def __init__(self, proc, index: int):
+        self.proc = proc
+        self.index = index
+        self.coord = (1 + index, 0)
+        cfg = proc.config
+        from .caches import CacheBank
+        self.cache = CacheBank(cfg.l1d_bank_kb * 1024, cfg.l1d_assoc,
+                               cfg.line_bytes)
+        self.lsq = LoadStoreQueue(cfg.lsq_entries)
+        self.deppred = DependencePredictor(
+            cfg.dep_predictor_bits, cfg.dep_clear_interval_blocks,
+            cfg.dep_predictor_enabled)
+        self.requests: deque = deque()
+        self.deferred: List[MemRequest] = []
+        self.outbox: deque = deque()
+        self.commit_free_t = 0
+        self.loads = 0
+        self.stores = 0
+        self.deferred_count = 0
+
+    # -- arrivals ---------------------------------------------------------
+    def deliver_request(self, msg: MemRequest, hops: int, queue: int,
+                        t: int) -> None:
+        if msg.block_uid not in self.proc.live_uids:
+            return
+        self.requests.append((msg, hops, queue, t))
+
+    # -- main per-cycle work -------------------------------------------------
+    def tick(self, t: int) -> None:
+        self._drain_outbox()
+        # the LSQ accepts one load or store per cycle (Section 3.5);
+        # oldest program order first, so speculative younger blocks'
+        # traffic cannot starve the block the window is waiting on
+        if self.requests:
+            best = min(range(len(self.requests)),
+                       key=lambda i: (self.requests[i][0].seq,
+                                      self.requests[i][0].lsid))
+            msg, hops, queue, arrive_t = self.requests[best]
+            del self.requests[best]
+            if msg.block_uid in self.proc.live_uids:
+                if msg.is_store:
+                    self._process_store(msg, t)
+                else:
+                    self._process_load(msg, hops, queue, arrive_t, t)
+        self._retry_deferred(t)
+
+    def _process_store(self, msg: MemRequest, t: int) -> None:
+        self.stores += 1
+        key = (msg.seq, msg.lsid)
+        violators = self.lsq.insert_store(key, msg.address, msg.size,
+                                          msg.data, msg.is_null)
+        self.proc.note_store_arrival(msg, self.index, t)
+        if violators:
+            load_key = violators[0]
+            entry = self.lsq.entries.get(load_key)
+            if entry is not None and entry.address is not None:
+                self.deppred.record_violation(entry.address)
+            self.proc.request_violation_flush(load_key[0], self.index, t)
+
+    def _process_load(self, msg: MemRequest, hops, queue, arrive_t,
+                      t: int) -> None:
+        key = (msg.seq, msg.lsid)
+        if self.deppred.predict_dependent(msg.address) and \
+                not self.proc.prior_stores_arrived(key, self.index, t):
+            self.deferred.append((msg, hops, queue))
+            self.deferred_count += 1
+            return
+        self._execute_load(msg, t, hops, queue)
+
+    def _retry_deferred(self, t: int) -> None:
+        if not self.deferred:
+            return
+        still = []
+        for msg, hops, queue in self.deferred:
+            if msg.block_uid not in self.proc.live_uids:
+                continue
+            key = (msg.seq, msg.lsid)
+            if self.proc.prior_stores_arrived(key, self.index, t):
+                self._execute_load(msg, t, hops, queue)
+            else:
+                still.append((msg, hops, queue))
+        self.deferred = still
+
+    def _execute_load(self, msg: MemRequest, t: int, hops: int = 0,
+                      queue: int = 0) -> None:
+        self.loads += 1
+        key = (msg.seq, msg.lsid)
+        self.lsq.insert_load(key, msg.address, msg.size)
+        committed = self.proc.memory.read_bytes(msg.address, msg.size)
+        raw = self.lsq.forward(key, msg.address, msg.size, committed)
+        value = truncate_load(raw, msg.size, msg.signed)
+        cfg = self.proc.config
+        hit = self.cache.lookup(msg.address)
+        if not hit:
+            self.cache.fill(msg.address)
+        if hit:
+            latency = cfg.l1_hit_cycles
+        elif self.proc.sysmem is None:
+            latency = cfg.l1_hit_cycles + cfg.l2_hit_cycles
+        else:
+            # detailed path: the line request crosses the OCN to its home
+            # NUCA bank through this DT's private port (Section 3.6)
+            line = msg.address - (msg.address % cfg.line_bytes)
+            self.proc.schedule(
+                t + cfg.l1_hit_cycles,
+                lambda m=msg, v=value, ln=line: self.proc.sysmem.request(
+                    self.proc.sysmem_port_base + self.index, ln, False,
+                    meta=lambda mm=m, vv=v: self._reply(mm, vv)))
+            if self.proc.trace is not None:
+                ev = self.proc.trace.inst(msg.producer_key)
+                ev.mem_hops = hops
+                ev.mem_queue = queue
+                ev.mem_wait = max(0, t - msg.send_t - hops - queue)
+                ev.mem_latency = cfg.l1_hit_cycles
+            return
+        if self.proc.trace is not None:
+            ev = self.proc.trace.inst(msg.producer_key)
+            ev.mem_hops = hops
+            ev.mem_queue = queue
+            ev.mem_wait = max(0, t - msg.send_t - hops - queue)
+            ev.mem_latency = latency
+        self.proc.schedule(t + latency,
+                           lambda m=msg, v=value: self._reply(m, v))
+
+    def _reply(self, msg: MemRequest, value: int) -> None:
+        t = self.proc.cycle
+        if msg.block_uid not in self.proc.live_uids:
+            return
+        for target in msg.targets:
+            if target.kind is OperandKind.WRITE:
+                dest = self.proc.rt_coord(target.slot // 8)
+                out = OperandMsg(msg.block_uid, ("W", target.slot),
+                                 target.kind, value, False,
+                                 msg.producer_key, t)
+            else:
+                dest = self.proc.et_coord(target.slot % 16)
+                out = OperandMsg(msg.block_uid, target.slot, target.kind,
+                                 value, False, msg.producer_key, t)
+            self.outbox.append(Packet(src=self.coord, dest=dest, payload=out))
+        self._drain_outbox()
+
+    def _drain_outbox(self) -> None:
+        while self.outbox:
+            if not self.proc.opn.inject(self.coord, self.outbox[0]):
+                return
+            self.outbox.popleft()
+
+    # -- commit / flush ----------------------------------------------------------
+    def commit_block(self, seq: int, arrive_t: int) -> int:
+        """Drain the block's stores to memory; returns the finish time."""
+        stores = self.lsq.commit_block(seq)
+        for entry in stores:
+            self.proc.memory.write(entry.address, entry.data, entry.size)
+            self.cache.fill(entry.address)
+        self.deppred.on_block_commit()
+        start = max(arrive_t, self.commit_free_t)
+        done = start + max(1, len(stores))
+        self.commit_free_t = done
+        return done
+
+    def flush(self, uids, seqs) -> None:
+        self.lsq.flush_blocks(seqs)
+        self.requests = deque(r for r in self.requests
+                              if r[0].block_uid not in uids)
+        self.deferred = [d for d in self.deferred
+                         if d[0].block_uid not in uids]
+        self.outbox = deque(p for p in self.outbox
+                            if p.payload.block_uid not in uids)

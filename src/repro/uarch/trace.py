@@ -1,0 +1,80 @@
+"""Microarchitectural event trace for critical-path analysis.
+
+When tracing is enabled, tsim-proc records one :class:`InstEvent` per
+dynamic body instruction and one :class:`BlockEvent` per fetched block.
+:mod:`repro.analysis.critpath` walks these records backwards from the final
+commit, attributing every cycle of the program's critical path to the
+paper's Table 3 categories (Fields et al.'s methodology, Section 5.4).
+
+``release`` encodes *why* an instruction became ready when it did:
+
+* ``("dispatch", t)`` — last requirement was the instruction's own arrival
+  from the GDN (instruction distribution delay -> IFetch category),
+* ``("operand", producer_key, send_t, hops, queue_cycles, arrive_t)`` —
+  last operand came over the OPN (hops -> "OPN hops", queueing -> "OPN
+  contention"),
+* ``("local", producer_key, t)`` — last operand via the local bypass path,
+* ``("regread", read_key, t)`` / ``("regfwd", producer_key, t)`` — value
+  delivered by a register tile from the architectural file or forwarded
+  from an older in-flight block's write queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+Key = Tuple[int, object]   # (block uid, body slot | ("R", read slot))
+
+
+@dataclass
+class InstEvent:
+    key: Key
+    mnemonic: str
+    et: int = -1
+    dispatch_t: int = -1
+    ready_t: int = -1
+    issue_t: int = -1
+    complete_t: int = -1
+    release: Tuple = ("dispatch", -1)
+    #: for loads: request-path OPN hops, queueing, DT-side wait (port
+    #: serialization + dependence-predictor deferral), and cache latency
+    mem_hops: int = 0
+    mem_queue: int = 0
+    mem_wait: int = 0
+    mem_latency: int = 0
+
+
+@dataclass
+class BlockEvent:
+    uid: int
+    addr: int
+    seq: int
+    cause: Tuple = ("init",)
+    fetch_t: int = -1
+    dispatch_done_t: int = -1
+    completed_t: int = -1
+    complete_reason: Tuple = ("unknown",)
+    commit_t: int = -1
+    ack_t: int = -1
+    outcome: str = "inflight"      # committed | flushed | inflight
+
+
+@dataclass
+class Trace:
+    """All events of one tsim-proc run (enabled with ``trace=True``)."""
+
+    insts: Dict[Key, InstEvent] = field(default_factory=dict)
+    blocks: Dict[int, BlockEvent] = field(default_factory=dict)
+    final_block_uid: int = -1
+
+    def inst(self, key: Key, mnemonic: str = "?") -> InstEvent:
+        event = self.insts.get(key)
+        if event is None:
+            event = InstEvent(key=key, mnemonic=mnemonic)
+            self.insts[key] = event
+        return event
+
+    def committed_blocks(self) -> List[BlockEvent]:
+        return sorted((b for b in self.blocks.values()
+                       if b.outcome == "committed"), key=lambda b: b.seq)

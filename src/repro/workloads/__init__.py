@@ -1,0 +1,23 @@
+"""The paper's benchmark suite, re-expressed in TIR (see DESIGN.md).
+
+Four groups, matching Section 5.4's Table 3:
+
+* microbenchmarks: ``dct8x8``, ``matrix``, ``sha``, ``vadd``
+* signal-processing kernels: ``cfar``, ``conv``, ``ct``, ``genalg``,
+  ``pm``, ``qr``, ``svd``
+* EEMBC subset: ``a2time01``, ``bezier02``, ``basefp01``, ``rspeed01``,
+  ``tblook01``
+* SPEC2000 proxies: ``mcf``, ``parser``, ``bzip2``, ``twolf``, ``mgrid``
+
+Each is a scaled-down rewrite preserving the original's algorithmic
+character — `sha` is serial, `vadd`/`conv` are L1-bandwidth-streaming,
+`mcf` is pointer-chasing, `twolf`/`parser` are branchy — because the
+paper's Table 3 shape is driven by exactly those characters.  Problem
+sizes are chosen so a run completes in tens of thousands of simulated
+cycles (the paper likewise used "small programs or program fragments ...
+because we are limited by the speed of tsim-proc").
+"""
+
+from .registry import ALL_WORKLOADS, SUITES, get_workload, workload_names
+
+__all__ = ["ALL_WORKLOADS", "SUITES", "get_workload", "workload_names"]

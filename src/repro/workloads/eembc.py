@@ -1,0 +1,163 @@
+"""EEMBC-subset workloads: a2time01, bezier02, basefp01, rspeed01, tblook01.
+
+Scaled-down rewrites of the EEMBC automotive suite members the paper uses,
+preserving their mix: angle/time integer math with divides (a2time01),
+fixed-point curve evaluation (bezier02), straight floating-point arithmetic
+(basefp01), branchy integer sensor processing (rspeed01), and table lookup
+with interpolation (tblook01).
+"""
+
+from __future__ import annotations
+
+from ..tir import Array, Assign, BinOp, Const, F, For, If, Load, Store, TirProgram, V
+
+
+def a2time01() -> TirProgram:
+    """Angle-to-time conversion: per-tooth engine calculations with
+    divides and range checks."""
+    teeth = 24
+    pulses = [(1000 + ((i * 317) % 213)) for i in range(teeth)]
+    body = [
+        Assign("total", Const(0)),
+        For("i", 0, teeth, 1, [
+            Assign("dt", Load("pulse", V("i"))),
+            # rpm-ish: 600000 / dt, clamped
+            Assign("rpm", BinOp("div", Const(600_000), V("dt"))),
+            If(V("rpm").gt(545),
+               [Assign("rpm", Const(545))], []),
+            # angle advance table-free approximation
+            Assign("adv", BinOp("div", V("rpm") * 7, Const(16)) + 5),
+            Assign("tta", BinOp("div", V("adv") * V("dt"), Const(360))),
+            Store("out", V("i"), V("tta")),
+            Assign("total", V("total") + V("tta")),
+        ]),
+    ]
+    return TirProgram(
+        "a2time01",
+        arrays={"pulse": Array("i64", pulses),
+                "out": Array("i64", [0] * teeth)},
+        scalars={"total": 0},
+        body=body, outputs=["out", "total"])
+
+
+def bezier02() -> TirProgram:
+    """Fixed-point cubic Bezier curve evaluation at 24 parameter steps."""
+    steps = 24
+    # control points in 8.8 fixed point
+    px = [10 * 256, 60 * 256, 180 * 256, 250 * 256]
+    py = [20 * 256, 200 * 256, 10 * 256, 220 * 256]
+    one = 256
+
+    def bez(axis):
+        p0, p1, p2, p3 = (Load(axis, Const(k)) for k in range(4))
+        # de Casteljau in fixed point; t in [0,256]
+        t, s = V("t"), V("s")
+        a01 = BinOp("sra", p0 * s + p1 * t, Const(8))
+        a12 = BinOp("sra", p1 * s + p2 * t, Const(8))
+        a23 = BinOp("sra", p2 * s + p3 * t, Const(8))
+        b01 = BinOp("sra", a01 * s + a12 * t, Const(8))
+        b12 = BinOp("sra", a12 * s + a23 * t, Const(8))
+        return BinOp("sra", b01 * s + b12 * t, Const(8))
+
+    body = [
+        For("i", 0, steps, 1, [
+            Assign("t", BinOp("div", V("i") * one, Const(steps - 1))),
+            Assign("s", Const(one) - V("t")),
+            Store("outx", V("i"), bez("cx")),
+            Store("outy", V("i"), bez("cy")),
+        ]),
+    ]
+    return TirProgram(
+        "bezier02",
+        arrays={"cx": Array("i64", px), "cy": Array("i64", py),
+                "outx": Array("i64", [0] * steps),
+                "outy": Array("i64", [0] * steps)},
+        body=body, outputs=["outx", "outy"])
+
+
+def basefp01() -> TirProgram:
+    """Basic floating point: fused add/mul/div chains over a small array."""
+    n = 32
+    data = [0.5 + 0.125 * i for i in range(n)]
+    body = [
+        Assign("acc", F(1.0)),
+        For("i", 0, n, 1, [
+            Assign("x", Load("a", V("i"))),
+            Assign("y", BinOp("fadd", BinOp("fmul", V("x"), F(1.5)),
+                              F(-0.25))),
+            Assign("y", BinOp("fdiv", V("y"),
+                              BinOp("fadd", V("x"), F(2.0)))),
+            Store("out", V("i"), V("y")),
+            Assign("acc", BinOp("fadd", V("acc"), V("y"))),
+        ], unroll=2),
+    ]
+    return TirProgram(
+        "basefp01",
+        arrays={"a": Array("f64", data), "out": Array("f64", [0.0] * n)},
+        body=body, outputs=["out"])
+
+
+def rspeed01() -> TirProgram:
+    """Road-speed calculation: debounced pulse intervals with branchy
+    validity filtering."""
+    n = 48
+    raw = [((i * 53) % 40) + (200 if (i % 7) else 15) for i in range(n)]
+    body = [
+        Assign("speed", Const(0)),
+        Assign("valid", Const(0)),
+        Assign("last", Const(0)),
+        For("i", 0, n, 1, [
+            Assign("p", Load("pulses", V("i"))),
+            If(V("p").lt(50),
+               [Assign("last", V("p"))],                  # glitch: debounce
+               [If(V("p").gt(V("last") + 150),
+                   [Assign("valid", V("valid") + 1),
+                    Assign("speed",
+                           BinOp("div", Const(100_000), V("p")))],
+                   []),
+                Assign("last", V("p"))]),
+            Store("trace", V("i"), V("speed")),
+        ]),
+    ]
+    return TirProgram(
+        "rspeed01",
+        arrays={"pulses": Array("i64", raw),
+                "trace": Array("i64", [0] * n)},
+        scalars={"speed": 0, "valid": 0, "last": 0},
+        body=body, outputs=["trace", "speed", "valid"])
+
+
+def tblook01() -> TirProgram:
+    """Table lookup with linear interpolation: the classic EEMBC pattern
+    of a search loop plus fixed-point interpolation arithmetic."""
+    entries = 16
+    xs = [i * i * 4 for i in range(entries)]            # monotone keys
+    ys = [1000 - 3 * i * i for i in range(entries)]
+    queries = [(q * 61) % (xs[-1]) for q in range(24)]
+    body = [
+        For("q", 0, 24, 1, [
+            Assign("key", Load("queries", V("q"))),
+            # linear search for the bracketing segment
+            Assign("idx", Const(0)),
+            For("i", 0, entries - 1, 1, [
+                If(Load("xs", V("i") + 1).le(V("key")),
+                   [Assign("idx", V("i") + 1)], []),
+            ]),
+            If(V("idx").ge(entries - 1),
+               [Assign("res", Load("ys", Const(entries - 1)))],
+               [Assign("x0", Load("xs", V("idx"))),
+                Assign("x1", Load("xs", V("idx") + 1)),
+                Assign("y0", Load("ys", V("idx"))),
+                Assign("y1", Load("ys", V("idx") + 1)),
+                Assign("res", V("y0") + BinOp(
+                    "div", (V("y1") - V("y0")) * (V("key") - V("x0")),
+                    V("x1") - V("x0")))]),
+            Store("out", V("q"), V("res")),
+        ]),
+    ]
+    return TirProgram(
+        "tblook01",
+        arrays={"xs": Array("i64", xs), "ys": Array("i64", ys),
+                "queries": Array("i64", queries),
+                "out": Array("i64", [0] * 24)},
+        body=body, outputs=["out"])

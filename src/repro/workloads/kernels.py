@@ -1,0 +1,245 @@
+"""Signal-processing kernels: cfar, conv, ct, genalg, pm, qr, svd.
+
+These mirror the HPEC/GMTI-style signal-processing library kernels the
+paper draws from: windowed detection, filtering, data reorganization, and
+small dense linear algebra.
+"""
+
+from __future__ import annotations
+
+from ..tir import Array, Assign, BinOp, Const, F, For, If, Load, Store, TirProgram, UnOp, V
+
+
+def cfar() -> TirProgram:
+    """Constant false-alarm rate detection: sliding guard-window average,
+    threshold compare, detection count."""
+    n = 64
+    guard, window = 2, 8
+    # three planted targets, all inside the scanned range [10, 54)
+    cells = [((i * 37) % 97) + (4000 if i in (17, 30, 45) else 0)
+             for i in range(n)]
+    lo, hi = window + guard, n - window - guard
+    body = [
+        Assign("detections", Const(0)),
+        For("i", lo, hi, 1, [
+            Assign("acc", Const(0)),
+            For("j", 1, window + 1, 1, [
+                Assign("acc", V("acc")
+                       + Load("cells", V("i") - guard - V("j"))
+                       + Load("cells", V("i") + guard + V("j"))),
+            ]),
+            # threshold: cell * 2*window > 8 * acc  (factor-4 CFAR)
+            Assign("lhs", Load("cells", V("i")) * (2 * window)),
+            If(V("lhs").gt(V("acc") * 8),
+               [Assign("detections", V("detections") + 1),
+                Store("hits", V("detections") - 1, V("i"))],
+               []),
+        ]),
+    ]
+    return TirProgram(
+        "cfar",
+        arrays={"cells": Array("i64", cells),
+                "hits": Array("i64", [-1] * 16)},
+        scalars={"detections": 0},
+        body=body, outputs=["detections", "hits"])
+
+
+def conv() -> TirProgram:
+    """1-D convolution of a 96-sample signal with an 8-tap filter:
+    streaming, load-bandwidth-bound like vadd."""
+    n, taps = 96, 8
+    signal = [(i * 13) % 31 - 15 for i in range(n)]
+    filt = [1, -2, 3, -1, 2, -3, 1, 1]
+    body = [
+        For("i", 0, n - taps, 1, [
+            Assign("acc", Const(0)),
+            For("k", 0, taps, 1, [
+                Assign("acc", V("acc") + Load("x", V("i") + V("k"))
+                       * Load("h", V("k"))),
+            ], unroll=8),
+            Store("y", V("i"), V("acc")),
+        ], unroll=2),
+    ]
+    return TirProgram(
+        "conv",
+        arrays={"x": Array("i64", signal), "h": Array("i64", filt),
+                "y": Array("i64", [0] * (n - taps))},
+        body=body, outputs=["y"])
+
+
+def ct() -> TirProgram:
+    """Corner turn: a 16x16 blocked transpose — pure data movement."""
+    n = 16
+    data = [i for i in range(n * n)]
+    body = [
+        For("i", 0, n, 1, [
+            For("j", 0, n, 1, [
+                Store("out", V("j") * n + V("i"),
+                      Load("inp", V("i") * n + V("j"))),
+            ], unroll=8),
+        ]),
+    ]
+    return TirProgram(
+        "ct",
+        arrays={"inp": Array("i64", data),
+                "out": Array("i64", [0] * (n * n))},
+        body=body, outputs=["out"])
+
+
+def genalg() -> TirProgram:
+    """One generation of a genetic algorithm: fitness evaluation,
+    tournament selection of the best individual, LCG mutation."""
+    pop, genes = 12, 8
+    chrom = [((i * 7 + g * 3) % 19) - 9 for i in range(pop)
+             for g in range(genes)]
+    weights = [3, -1, 4, 1, -5, 9, -2, 6]
+    body = [
+        # fitness[i] = sum_g chrom[i,g] * weights[g]
+        For("i", 0, pop, 1, [
+            Assign("acc", Const(0)),
+            For("g", 0, genes, 1, [
+                Assign("acc", V("acc")
+                       + Load("chrom", V("i") * genes + V("g"))
+                       * Load("w", V("g"))),
+            ], unroll=8),
+            Store("fitness", V("i"), V("acc")),
+        ]),
+        # argmax
+        Assign("best", Const(0)),
+        Assign("bestf", Load("fitness", Const(0))),
+        For("i", 1, pop, 1, [
+            Assign("f", Load("fitness", V("i"))),
+            If(V("f").gt(V("bestf")),
+               [Assign("bestf", V("f")), Assign("best", V("i"))], []),
+        ]),
+        # LCG-mutate everyone toward the best
+        Assign("seed", Const(12345)),
+        For("i", 0, pop, 1, [
+            For("g", 0, genes, 1, [
+                Assign("seed", (V("seed") * 1103515245 + 12345)
+                       & 0x7FFFFFFF),
+                If((V("seed") & 7).eq(0),
+                   [Store("chrom", V("i") * genes + V("g"),
+                          Load("chrom", V("best") * genes + V("g")))],
+                   []),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "genalg",
+        arrays={"chrom": Array("i64", chrom), "w": Array("i64", weights),
+                "fitness": Array("i64", [0] * pop)},
+        scalars={"best": 0, "bestf": 0},
+        body=body, outputs=["chrom", "fitness", "best"])
+
+
+def pm() -> TirProgram:
+    """Pattern match: minimum sum-of-absolute-differences over shifts."""
+    n, m = 64, 12
+    signal = [((i * 29) % 41) - 20 for i in range(n)]
+    template = [((i * 29 + 7 * 29) % 41) - 20 for i in range(m)]  # shift 7
+    body = [
+        Assign("bestsad", Const(1 << 40)),
+        Assign("bestpos", Const(0)),
+        For("s", 0, n - m, 1, [
+            Assign("sad", Const(0)),
+            For("k", 0, m, 1, [
+                Assign("d", Load("x", V("s") + V("k")) - Load("t", V("k"))),
+                If(V("d").lt(0), [Assign("d", Const(0) - V("d"))], []),
+                Assign("sad", V("sad") + V("d")),
+            ], unroll=4),
+            If(V("sad").lt(V("bestsad")),
+               [Assign("bestsad", V("sad")), Assign("bestpos", V("s"))],
+               []),
+        ]),
+    ]
+    return TirProgram(
+        "pm",
+        arrays={"x": Array("i64", signal), "t": Array("i64", template)},
+        scalars={"bestsad": 0, "bestpos": 0},
+        body=body, outputs=["bestsad", "bestpos"])
+
+
+def qr() -> TirProgram:
+    """Modified Gram-Schmidt QR on a 4x4 f64 matrix (no square root:
+    we orthogonalize against unnormalized columns, tracking norms)."""
+    n = 4
+    a = [float((i * 3 + j * 7) % 11 - 5) + (1.0 if i == j else 0.0)
+         for i in range(n) for j in range(n)]
+    body = [
+        For("k", 0, n, 1, [
+            # norm2[k] = <q_k, q_k>
+            Assign("nrm", F(0.0)),
+            For("i", 0, n, 1, [
+                Assign("qik", Load("q", V("i") * n + V("k"))),
+                Assign("nrm", BinOp("fadd", V("nrm"),
+                                    BinOp("fmul", V("qik"), V("qik")))),
+            ]),
+            Store("norm2", V("k"), V("nrm")),
+            # project the later columns off q_k
+            For("j", V("k") + 1, n, 1, [
+                Assign("dot", F(0.0)),
+                For("i", 0, n, 1, [
+                    Assign("dot", BinOp("fadd", V("dot"),
+                                        BinOp("fmul",
+                                              Load("q", V("i") * n + V("k")),
+                                              Load("q", V("i") * n + V("j"))))),
+                ]),
+                Assign("r", BinOp("fdiv", V("dot"), V("nrm"))),
+                Store("rmat", V("k") * n + V("j"), V("r")),
+                For("i", 0, n, 1, [
+                    Store("q", V("i") * n + V("j"),
+                          BinOp("fsub", Load("q", V("i") * n + V("j")),
+                                BinOp("fmul", V("r"),
+                                      Load("q", V("i") * n + V("k"))))),
+                ]),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "qr",
+        arrays={"q": Array("f64", a),
+                "rmat": Array("f64", [0.0] * (n * n)),
+                "norm2": Array("f64", [0.0] * n)},
+        body=body, outputs=["q", "rmat", "norm2"])
+
+
+def svd() -> TirProgram:
+    """One cyclic Jacobi sweep for a symmetric 4x4 eigenproblem (the SVD
+    kernel's inner loop), using rotation-free updates c=1, s=t approx."""
+    n = 4
+    a = [float((i * 5 + j * 5) % 7 - 3) for i in range(n) for j in range(n)]
+    # symmetrize
+    sym = [0.0] * (n * n)
+    for i in range(n):
+        for j in range(n):
+            sym[i * n + j] = (a[i * n + j] + a[j * n + i]) / 2.0
+    body = [
+        For("p", 0, n - 1, 1, [
+            For("q", V("p") + 1, n, 1, [
+                Assign("apq", Load("m", V("p") * n + V("q"))),
+                Assign("app", Load("m", V("p") * n + V("p"))),
+                Assign("aqq", Load("m", V("q") * n + V("q"))),
+                Assign("den", BinOp("fsub", V("aqq"), V("app"))),
+                # guard the divide; t = apq / (aqq - app + eps-ish)
+                If(BinOp("feq", V("den"), F(0.0)),
+                   [Assign("t", F(0.5))],
+                   [Assign("t", BinOp("fdiv", V("apq"), V("den")))]),
+                # row/col update: m[p,i] -= t*m[q,i]; m[q,i] += t*m[p,i]
+                For("i", 0, n, 1, [
+                    Assign("mpi", Load("m", V("p") * n + V("i"))),
+                    Assign("mqi", Load("m", V("q") * n + V("i"))),
+                    Store("m", V("p") * n + V("i"),
+                          BinOp("fsub", V("mpi"),
+                                BinOp("fmul", V("t"), V("mqi")))),
+                    Store("m", V("q") * n + V("i"),
+                          BinOp("fadd", V("mqi"),
+                                BinOp("fmul", V("t"), V("mpi")))),
+                ]),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "svd",
+        arrays={"m": Array("f64", sym)},
+        body=body, outputs=["m"])

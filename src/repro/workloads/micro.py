@@ -1,0 +1,156 @@
+"""Microbenchmarks: dct8x8, matrix, sha, vadd."""
+
+from __future__ import annotations
+
+import math
+
+from ..tir import Array, Assign, BinOp, Const, F, For, Load, Store, TirProgram, V
+
+M32 = 0xFFFFFFFF
+
+
+def _f(op, a, b):
+    return BinOp(op, a, b)
+
+
+def dct8x8() -> TirProgram:
+    """Two-pass 8x8 DCT-II on f64 (one macroblock, as in JPEG/MPEG)."""
+    n = 8
+    pixels = [float((i * 7 + j * 13) % 64 - 32) for i in range(n)
+              for j in range(n)]
+    cos_tab = [math.cos((2 * x + 1) * u * math.pi / (2 * n))
+               for u in range(n) for x in range(n)]
+    body = [
+        # rows: tmp[u + i*8] = sum_x pix[x + i*8] * cos[u*8 + x]
+        For("i", 0, n, 1, [
+            For("u", 0, n, 1, [
+                Assign("acc", F(0.0)),
+                For("x", 0, n, 1, [
+                    Assign("acc", _f("fadd", V("acc"),
+                                     _f("fmul",
+                                        Load("pix", V("i") * n + V("x")),
+                                        Load("costab", V("u") * n + V("x"))))),
+                ]),
+                Store("tmp", V("i") * n + V("u"), V("acc")),
+            ]),
+        ]),
+        # columns: out[u*8 + v] = sum_y tmp[y*8 + v] * cos[u*8 + y]
+        For("v", 0, n, 1, [
+            For("u", 0, n, 1, [
+                Assign("acc", F(0.0)),
+                For("y", 0, n, 1, [
+                    Assign("acc", _f("fadd", V("acc"),
+                                     _f("fmul",
+                                        Load("tmp", V("y") * n + V("v")),
+                                        Load("costab", V("u") * n + V("y"))))),
+                ]),
+                Store("out", V("u") * n + V("v"), V("acc")),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "dct8x8",
+        arrays={"pix": Array("f64", pixels),
+                "costab": Array("f64", cos_tab),
+                "tmp": Array("f64", [0.0] * (n * n)),
+                "out": Array("f64", [0.0] * (n * n))},
+        body=body, outputs=["out"])
+
+
+def matrix() -> TirProgram:
+    """8x8 integer matrix multiply."""
+    n = 8
+    a = [(i * 3 + j) % 17 - 8 for i in range(n) for j in range(n)]
+    b = [(i * 5 + j * 2) % 13 - 6 for i in range(n) for j in range(n)]
+    body = [
+        For("i", 0, n, 1, [
+            For("j", 0, n, 1, [
+                Assign("acc", Const(0)),
+                For("k", 0, n, 1, [
+                    Assign("acc", V("acc") +
+                           Load("a", V("i") * n + V("k")) *
+                           Load("b", V("k") * n + V("j"))),
+                ], unroll=8),
+                Store("c", V("i") * n + V("j"), V("acc")),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "matrix",
+        arrays={"a": Array("i64", a), "b": Array("i64", b),
+                "c": Array("i64", [0] * (n * n))},
+        body=body, outputs=["c"])
+
+
+def sha() -> TirProgram:
+    """SHA-1 compression of one 512-bit block: an almost entirely serial
+    dependence chain (the paper's worst case for TRIPS)."""
+    message = [(i * 0x01010101 + 0x6a09e667) & M32 for i in range(16)]
+    rotl = lambda x, s: ((x << s) | BinOp("shr", x & M32, Const(32 - s))) & M32
+
+    schedule = For("t", 16, 80, 1, [
+        Assign("w", BinOp("xor",
+                          BinOp("xor", Load("W", V("t") - 3),
+                                Load("W", V("t") - 8)),
+                          BinOp("xor", Load("W", V("t") - 14),
+                                Load("W", V("t") - 16)))),
+        Store("W", V("t"), rotl(V("w"), 1)),
+    ])
+
+    def round_range(lo, hi, f_expr, k):
+        return For("t", lo, hi, 1, [
+            Assign("f", f_expr),
+            Assign("tmp", (rotl(V("a"), 5) + V("f") + V("e")
+                           + k + Load("W", V("t"))) & M32),
+            Assign("e", V("d")),
+            Assign("d", V("c")),
+            Assign("c", rotl(V("b"), 30)),
+            Assign("b", V("a")),
+            Assign("a", V("tmp")),
+        ])
+
+    ch = BinOp("or", V("b") & V("c"),
+               BinOp("and", BinOp("xor", V("b"), Const(M32)), V("d"))) & M32
+    parity = BinOp("xor", BinOp("xor", V("b"), V("c")), V("d")) & M32
+    maj = BinOp("or", BinOp("or", V("b") & V("c"), V("b") & V("d")),
+                V("c") & V("d")) & M32
+
+    body = [
+        schedule,
+        Assign("a", Const(0x67452301)), Assign("b", Const(0xEFCDAB89)),
+        Assign("c", Const(0x98BADCFE)), Assign("d", Const(0x10325476)),
+        Assign("e", Const(0xC3D2E1F0)),
+        round_range(0, 20, ch, 0x5A827999),
+        round_range(20, 40, parity, 0x6ED9EBA1),
+        round_range(40, 60, maj, 0x8F1BBCDC),
+        round_range(60, 80, parity, 0xCA62C1D6),
+        Store("digest", Const(0), (V("a") + 0x67452301) & M32),
+        Store("digest", Const(1), (V("b") + 0xEFCDAB89) & M32),
+        Store("digest", Const(2), (V("c") + 0x98BADCFE) & M32),
+        Store("digest", Const(3), (V("d") + 0x10325476) & M32),
+        Store("digest", Const(4), (V("e") + 0xC3D2E1F0) & M32),
+    ]
+    return TirProgram(
+        "sha",
+        arrays={"W": Array("u32", message + [0] * 64),
+                "digest": Array("u32", [0] * 5)},
+        body=body, outputs=["digest"])
+
+
+def vadd() -> TirProgram:
+    """Streaming f64 vector add: bounded by L1 bandwidth (TRIPS has four
+    DT ports against the baseline's two -> the paper's ~2x speedup cap)."""
+    n = 128
+    a = [float(i) * 0.5 for i in range(n)]
+    b = [float(n - i) * 0.25 for i in range(n)]
+    body = [
+        For("i", 0, n, 1, [
+            Store("c", V("i"), BinOp("fadd", Load("a", V("i")),
+                                     Load("b", V("i")))),
+        ], unroll=8),
+    ]
+    return TirProgram(
+        "vadd",
+        arrays={"a": Array("f64", a), "b": Array("f64", b),
+                "c": Array("f64", [0.0] * n)},
+        body=body, outputs=["c"])

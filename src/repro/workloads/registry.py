@@ -1,0 +1,62 @@
+"""Workload registry: name -> TIR program factory, plus suite metadata."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..tir import TirProgram
+from . import eembc, kernels, micro, spec
+
+#: suite name -> ordered benchmark list (Table 3 row order).
+SUITES: Dict[str, List[str]] = {
+    "micro": ["dct8x8", "matrix", "sha", "vadd"],
+    "kernels": ["cfar", "conv", "ct", "genalg", "pm", "qr", "svd"],
+    "eembc": ["a2time01", "bezier02", "basefp01", "rspeed01", "tblook01"],
+    "spec": ["mcf", "parser", "bzip2", "twolf", "mgrid"],
+}
+
+ALL_WORKLOADS: Dict[str, Callable[[], TirProgram]] = {
+    "dct8x8": micro.dct8x8,
+    "matrix": micro.matrix,
+    "sha": micro.sha,
+    "vadd": micro.vadd,
+    "cfar": kernels.cfar,
+    "conv": kernels.conv,
+    "ct": kernels.ct,
+    "genalg": kernels.genalg,
+    "pm": kernels.pm,
+    "qr": kernels.qr,
+    "svd": kernels.svd,
+    "a2time01": eembc.a2time01,
+    "bezier02": eembc.bezier02,
+    "basefp01": eembc.basefp01,
+    "rspeed01": eembc.rspeed01,
+    "tblook01": eembc.tblook01,
+    "mcf": spec.mcf,
+    "parser": spec.parser,
+    "bzip2": spec.bzip2,
+    "twolf": spec.twolf,
+    "mgrid": spec.mgrid,
+}
+
+#: workloads the paper reports hand-optimized numbers for (Table 3 has no
+#: hand column for the SPEC programs: "We have not optimized any of the
+#: SPEC programs by hand").
+HAND_OPTIMIZED = [name for suite in ("micro", "kernels", "eembc")
+                  for name in SUITES[suite]]
+
+
+def workload_names() -> List[str]:
+    return [name for suite in SUITES.values() for name in suite]
+
+
+def get_workload(name: str) -> TirProgram:
+    """Build a fresh TIR program for the named benchmark."""
+    try:
+        factory = ALL_WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {workload_names()}") from None
+    program = factory()
+    program.validate()
+    return program

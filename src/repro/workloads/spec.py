@@ -1,0 +1,196 @@
+"""Scaled-down SPEC2000 proxies: mcf, parser, bzip2, twolf, mgrid.
+
+Each proxy reproduces the *microarchitectural character* the original is
+known for — which is what drives the paper's Table 3 rows:
+
+* ``mcf``    — pointer chasing over a sparse graph (load-latency bound,
+               near-serial address chains)
+* ``parser`` — byte scanning and dictionary matching (data-dependent
+               branches, little ILP)
+* ``bzip2``  — move-to-front coding (small loops, shifting data)
+* ``twolf``  — simulated-annealing cost evaluation (branchy accept/reject
+               on pseudo-random swaps)
+* ``mgrid``  — 3-D 7-point stencil relaxation (regular FP with high ILP)
+"""
+
+from __future__ import annotations
+
+from ..tir import Array, Assign, BinOp, Const, F, For, If, Load, Store, TirProgram, V, While
+
+
+def mcf() -> TirProgram:
+    """Pointer chasing: repeatedly walk successor chains of a shuffled
+    ring, accumulating costs — the mcf network-simplex character."""
+    n = 64
+    # a stride-27 permutation ring (27 is coprime with 64 -> one cycle)
+    succ = [(i + 27) % n for i in range(n)]
+    cost = [((i * 31) % 23) - 11 for i in range(n)]
+    body = [
+        Assign("node", Const(0)),
+        Assign("total", Const(0)),
+        For("step", 0, 3 * n, 1, [
+            Assign("c", Load("cost", V("node"))),
+            Assign("total", V("total") + V("c")),
+            If(V("c").lt(0),
+               [Store("cost", V("node"), Const(0) - V("c"))],
+               []),
+            Assign("node", Load("succ", V("node"))),
+        ]),
+    ]
+    return TirProgram(
+        "mcf",
+        arrays={"succ": Array("i64", succ), "cost": Array("i64", cost)},
+        scalars={"node": 0, "total": 0},
+        body=body, outputs=["total", "cost"])
+
+
+def parser() -> TirProgram:
+    """Dictionary word matching over a byte stream: compare each input
+    token against a word list, byte by byte, with early-out branches."""
+    text = b"the cat sat on the mat with a hat "
+    words = [b"the ", b"cat ", b"rat ", b"mat ", b"hat ", b"bat "]
+    dict_bytes = b"".join(w for w in words)
+    wlen = 4
+    body = [
+        Assign("matches", Const(0)),
+        Assign("pos", Const(0)),
+        While(V("pos").lt(len(text) - wlen), [
+            Assign("w", Const(0)),
+            Assign("hit", Const(0)),
+            While(BinOp("and", V("w").lt(len(words)),
+                        V("hit").eq(0)), [
+                Assign("k", Const(0)),
+                Assign("same", Const(1)),
+                While(BinOp("and", V("k").lt(wlen), V("same").ne(0)), [
+                    If(Load("text", V("pos") + V("k")).ne(
+                            Load("dict", V("w") * wlen + V("k"))),
+                       [Assign("same", Const(0))], []),
+                    Assign("k", V("k") + 1),
+                ]),
+                If(V("same").ne(0), [Assign("hit", Const(1))], []),
+                Assign("w", V("w") + 1),
+            ]),
+            Assign("matches", V("matches") + V("hit")),
+            Assign("pos", V("pos") + 1),
+        ]),
+    ]
+    return TirProgram(
+        "parser",
+        arrays={"text": Array("u8", list(text)),
+                "dict": Array("u8", list(dict_bytes))},
+        scalars={"matches": 0, "pos": 0},
+        body=body, outputs=["matches"])
+
+
+def bzip2() -> TirProgram:
+    """Move-to-front transform over a 48-byte buffer — bzip2's inner
+    coding loop: a search loop plus a data-shifting loop per symbol."""
+    data = [ord(c) for c in "abracadabra_abracadabra_banana_band_anagram_mass"]
+    body = [
+        # initialize the MTF alphabet table 0..255 is overkill; 32 symbols
+        For("i", 0, 128, 1, [Store("table", V("i"), V("i"))]),
+        For("p", 0, len(data), 1, [
+            Assign("sym", Load("data", V("p"))),
+            # find the symbol's current rank
+            Assign("rank", Const(0)),
+            While(Load("table", V("rank")).ne(V("sym")), [
+                Assign("rank", V("rank") + 1),
+            ]),
+            Store("out", V("p"), V("rank")),
+            # shift table[0..rank) up by one, move symbol to front
+            For("j", V("rank"), 0, -1, [
+                Store("table", V("j"), Load("table", V("j") - 1)),
+            ]),
+            Store("table", Const(0), V("sym")),
+        ]),
+    ]
+    return TirProgram(
+        "bzip2",
+        arrays={"data": Array("u8", data),
+                "table": Array("i64", [0] * 128),
+                "out": Array("i64", [0] * len(data))},
+        body=body, outputs=["out"])
+
+
+def twolf() -> TirProgram:
+    """Simulated-annealing placement step: propose LCG-random cell swaps,
+    evaluate a wirelength delta, accept improving moves — twolf's
+    branchy accept/reject character."""
+    cells = 16
+    pos = [((i * 11) % cells) for i in range(cells)]
+    wire = [((i * 7 + j * 3) % 5) for i in range(cells) for j in range(cells)]
+    body = [
+        Assign("seed", Const(987654321)),
+        Assign("accepted", Const(0)),
+        For("trial", 0, 40, 1, [
+            Assign("seed", (V("seed") * 1103515245 + 12345) & 0x7FFFFFFF),
+            Assign("a", BinOp("rem", V("seed"), Const(cells))),
+            Assign("seed", (V("seed") * 1103515245 + 12345) & 0x7FFFFFFF),
+            Assign("b", BinOp("rem", V("seed"), Const(cells))),
+            # delta = sum_j w[a,j]*(|pb-pj| - |pa-pj|) + w[b,j]*(...)
+            Assign("pa", Load("pos", V("a"))),
+            Assign("pb", Load("pos", V("b"))),
+            Assign("delta", Const(0)),
+            For("j", 0, cells, 1, [
+                Assign("pj", Load("pos", V("j"))),
+                Assign("d1", V("pb") - V("pj")),
+                If(V("d1").lt(0), [Assign("d1", Const(0) - V("d1"))], []),
+                Assign("d2", V("pa") - V("pj")),
+                If(V("d2").lt(0), [Assign("d2", Const(0) - V("d2"))], []),
+                Assign("delta", V("delta")
+                       + Load("w", V("a") * cells + V("j"))
+                       * (V("d1") - V("d2"))),
+            ]),
+            If(V("delta").lt(0),
+               [Store("pos", V("a"), V("pb")),
+                Store("pos", V("b"), V("pa")),
+                Assign("accepted", V("accepted") + 1)],
+               []),
+        ]),
+    ]
+    return TirProgram(
+        "twolf",
+        arrays={"pos": Array("i64", pos), "w": Array("i64", wire)},
+        scalars={"seed": 0, "accepted": 0},
+        body=body, outputs=["pos", "accepted"])
+
+
+def mgrid() -> TirProgram:
+    """One red-black-free Jacobi sweep of a 7-point stencil on a 6^3 grid
+    — mgrid's regular, high-ILP floating-point character."""
+    n = 6
+    grid = [0.0] * (n * n * n)
+    for i in range(n):
+        for j in range(n):
+            for k in range(n):
+                grid[(i * n + j) * n + k] = float((i * 3 + j * 5 + k * 7) % 11)
+
+    def at(i, j, k):
+        return Load("u", (i * n + j) * n + k)
+
+    i, j, k = V("i"), V("j"), V("k")
+    body = [
+        For("i", 1, n - 1, 1, [
+            For("j", 1, n - 1, 1, [
+                For("k", 1, n - 1, 1, [
+                    Assign("s", BinOp("fadd", at(i - 1, j, k),
+                                      at(i + 1, j, k))),
+                    Assign("s", BinOp("fadd", V("s"),
+                                      BinOp("fadd", at(i, j - 1, k),
+                                            at(i, j + 1, k)))),
+                    Assign("s", BinOp("fadd", V("s"),
+                                      BinOp("fadd", at(i, j, k - 1),
+                                            at(i, j, k + 1)))),
+                    Store("v", (i * n + j) * n + k,
+                          BinOp("fadd",
+                                BinOp("fmul", at(i, j, k), F(0.5)),
+                                BinOp("fmul", V("s"), F(1.0 / 12.0)))),
+                ], unroll=4),
+            ]),
+        ]),
+    ]
+    return TirProgram(
+        "mgrid",
+        arrays={"u": Array("f64", grid),
+                "v": Array("f64", [0.0] * (n * n * n))},
+        body=body, outputs=["v"])

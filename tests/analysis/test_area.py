@@ -1,0 +1,93 @@
+"""Tests for the area model (Tables 1-2) and floorplan (Figure 6)."""
+
+import pytest
+
+from repro.analysis.area import (
+    AreaModel,
+    CHIP_AREA_MM2,
+    PROTOTYPE_NETWORKS,
+    PROTOTYPE_TILES,
+    wire_count_check,
+)
+from repro.analysis.floorplan import render_floorplan
+
+
+class TestTable1:
+    def test_eleven_tile_types(self):
+        assert len(PROTOTYPE_TILES) == 11
+
+    def test_106_tiles_total(self):
+        model = AreaModel.prototype()
+        rows = model.table1()
+        assert rows[-1]["Tile Count"] == 106
+
+    def test_percentages_match_paper_shape(self):
+        model = AreaModel.prototype()
+        pct = {r["Tile"]: r["% Chip Area"] for r in model.table1()}
+        # paper: ET 28.0, MT 30.7, DT 21.0 dominate; GT small (1.8)
+        assert 25 < pct["ET"] < 31
+        assert 28 < pct["MT"] < 34
+        assert 18 < pct["DT"] < 24
+        assert pct["GT"] < 3
+        assert pct["EBC"] < 1
+
+    def test_percentages_bounded(self):
+        rows = AreaModel.prototype().table1()[:-1]
+        assert sum(r["% Chip Area"] for r in rows) <= 100.0
+
+    def test_tiled_area_below_die(self):
+        model = AreaModel.prototype()
+        assert model.tiled_area() < CHIP_AREA_MM2
+
+
+class TestOverheadAttributions:
+    def test_lsq_fraction_near_13_percent(self):
+        frac = AreaModel.prototype().lsq_fraction_of_core()
+        assert 0.10 < frac < 0.18
+
+    def test_opn_fraction_near_12_percent(self):
+        frac = AreaModel.prototype().opn_fraction_of_processor()
+        assert 0.09 < frac < 0.15
+
+    def test_ocn_fraction_near_14_percent(self):
+        frac = AreaModel.prototype().ocn_fraction_of_chip()
+        assert 0.11 < frac < 0.17
+
+    def test_lsq_ablation_shrinks_dt(self):
+        proto = AreaModel.prototype()
+        ideal = proto.with_lsq_entries(64)    # right-sized partition
+        assert ideal.by_name("DT").size_mm2 < proto.by_name("DT").size_mm2
+        assert ideal.lsq_fraction_of_core() < proto.lsq_fraction_of_core()
+        # other tiles untouched
+        assert ideal.by_name("ET").size_mm2 == proto.by_name("ET").size_mm2
+
+
+class TestTable2:
+    def test_eight_networks(self):
+        assert len(PROTOTYPE_NETWORKS) == 8
+
+    def test_paper_bit_widths(self):
+        bits = {n.name.split(" (")[0]: n.bits for n in PROTOTYPE_NETWORKS}
+        assert bits["Global Dispatch"] == 205
+        assert bits["Operand Network"] == 141
+        assert bits["On-chip Network"] == 138
+        assert bits["Global Status"] == 6
+
+    def test_wire_count_decomposition(self):
+        check = wire_count_check()
+        assert sum(v for k, v in check.items() if k != "total") == 141
+        assert check["data"] == 64
+
+
+class TestFloorplan:
+    def test_render_contains_all_tiles(self):
+        text = render_floorplan()
+        for tile in ("GT", "RT", "ET", "DT", "IT", "MT", "SDC", "DMA",
+                     "EBC", "C2C"):
+            assert tile in text
+
+    def test_breakdown_sums_to_100(self):
+        text = render_floorplan()
+        import re
+        values = [float(m) for m in re.findall(r"(\d+\.\d)%", text)]
+        assert abs(sum(values) - 100.0) < 0.5

@@ -1,0 +1,88 @@
+"""Tests for the critical-path attribution (Table 3 machinery)."""
+
+import pytest
+
+from repro.analysis import CATEGORIES, analyze_critical_path
+from repro.compiler import compile_tir
+from repro.tir import Array, Assign, BinOp, For, Load, Store, TirProgram, V
+from repro.uarch.proc import TripsProcessor
+
+
+def traced_run(prog, level="hand"):
+    compiled = compile_tir(prog, level=level)
+    proc = TripsProcessor(compiled.program, trace=True)
+    proc.run()
+    return proc
+
+
+LOOP = TirProgram("loop", scalars={"acc": 0},
+                  body=[For("i", 0, 16, 1, [
+                      Assign("acc", V("acc") + V("i") * 3)])],
+                  outputs=["acc"])
+
+STREAM = TirProgram("stream",
+                    arrays={"a": Array("i64", list(range(32))),
+                            "b": Array("i64", [0] * 32)},
+                    body=[For("i", 0, 32, 1, [
+                        Store("b", V("i"), Load("a", V("i")) + 1)],
+                        unroll=8)],
+                    outputs=["b"])
+
+
+class TestReportShape:
+    def test_categories_complete(self):
+        proc = traced_run(LOOP)
+        report = analyze_critical_path(proc.trace)
+        assert set(report.cycles) == set(CATEGORIES)
+        assert report.path_length == sum(report.cycles.values())
+
+    def test_percentages_sum_to_100(self):
+        proc = traced_run(LOOP)
+        report = analyze_critical_path(proc.trace)
+        assert abs(sum(report.percentages().values()) - 100.0) < 1e-6
+
+    def test_path_covers_most_of_runtime(self):
+        for prog in (LOOP, STREAM):
+            proc = traced_run(prog)
+            report = analyze_critical_path(proc.trace)
+            # the last-arrival walk should explain the bulk of the run
+            assert report.path_length >= 0.6 * proc.stats.cycles
+            assert report.path_length <= 1.05 * proc.stats.cycles + 40
+
+    def test_row_has_paper_columns(self):
+        proc = traced_run(LOOP)
+        row = analyze_critical_path(proc.trace).row()
+        assert list(row) == ["IFetch", "OPN Hops", "OPN Cont.", "Fanout Ops",
+                             "Block Complete", "Block Commit", "Other"]
+
+    def test_empty_trace_is_graceful(self):
+        from repro.uarch.trace import Trace
+        report = analyze_critical_path(Trace())
+        assert report.path_length == 0
+
+
+class TestAttributionShape:
+    def test_serial_chain_is_mostly_other_and_network(self):
+        # a tight dependence chain: execution latency dominates
+        prog = TirProgram("chain", scalars={"x": 1},
+                          body=[Assign("x", BinOp("mul", V("x"), V("x") + 1))
+                                for _ in range(1)] * 1 + [
+                              For("i", 0, 30, 1, [
+                                  Assign("x", V("x") * 3 + 1)])],
+                          outputs=["x"])
+        proc = traced_run(prog)
+        report = analyze_critical_path(proc.trace)
+        pct = report.percentages()
+        assert pct["block_complete"] < 30
+        assert pct["commit"] < 30
+
+    def test_opn_categories_appear_on_spread_dataflow(self):
+        proc = traced_run(STREAM)
+        pct = analyze_critical_path(proc.trace).percentages()
+        assert pct["opn_hops"] > 3
+
+    def test_tcc_shows_more_fetch_pressure_than_hand(self):
+        tcc = analyze_critical_path(traced_run(STREAM, "tcc").trace)
+        hand = analyze_critical_path(traced_run(STREAM, "hand").trace)
+        # small tcc blocks put the fetch protocol on the critical path
+        assert tcc.percentages()["ifetch"] >= hand.percentages()["ifetch"] - 8

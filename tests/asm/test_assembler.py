@@ -1,0 +1,126 @@
+"""Tests for the assembler / disassembler round trip."""
+
+import pytest
+
+from repro.asm import AsmError, assemble, disassemble
+from repro.isa import Opcode, OperandKind
+
+FIG5A = """
+.entry fig5a
+.block fig5a
+    R[0]  read R4 N[1,L] N[2,L]
+    N[0]  movi #0 N[1,R]
+    N[1]  teq N[2,P] N[3,P]
+    N[2]  muli_f #4 N[32,L]
+    N[3]  null_t N[34,L] N[34,R]
+    N[32] lw L[0] #8 N[33,L]
+    N[33] mov N[34,L] N[34,R]
+    N[34] sw L[1] #0
+    N[35] callo exit0 @func1
+.block func1
+    N[0]  bro exit0 @exit
+"""
+
+
+class TestAssemble:
+    def test_fig5a_assembles(self):
+        prog = assemble(FIG5A)
+        assert prog.entry == prog.labels["fig5a"]
+        blk = prog.blocks[prog.entry]
+        assert blk.body[1].opcode is Opcode.TEQ
+        assert blk.body[2].pred is False
+        assert blk.body[3].pred is True
+        assert blk.reads[0].reg == 4
+        assert blk.store_mask == 0b10
+
+    def test_callo_offset_resolved(self):
+        prog = assemble(FIG5A)
+        blk = prog.blocks[prog.entry]
+        callo = blk.body[35]
+        assert prog.entry + callo.offset == prog.labels["func1"]
+
+    def test_branch_to_exit(self):
+        prog = assemble(FIG5A)
+        func1 = prog.blocks[prog.labels["func1"]]
+        assert prog.labels["func1"] + func1.body[0].offset == 0
+
+    def test_data_and_reg_directives(self):
+        prog = assemble(""".entry main
+.data tab 1, 2, 3, 255
+.word big 70000, -1
+.reg R0 = &tab
+.reg R4 = 42
+.block main
+    N[0] bro exit0 @exit
+""")
+        addr = prog.initial_regs[0]
+        assert prog.data[addr] == bytes([1, 2, 3, 255])
+        assert prog.initial_regs[4] == 42
+        big_addr = prog.initial_regs.get(1, None)
+        words = [a for a in prog.data if a != addr]
+        assert prog.data[words[0]][:8] == (70000).to_bytes(8, "little")
+
+    def test_space_directive(self):
+        prog = assemble(""".block main
+    N[0] halt exit0
+.space buf 64
+""")
+        assert any(len(v) == 64 and v == bytes(64) for v in prog.data.values())
+
+    def test_comments_ignored(self):
+        prog = assemble("""; a comment
+.block main ; another
+    N[0] bro exit0 @exit ; inline
+""")
+        assert len(prog.blocks) == 1
+
+    def test_error_has_line_number(self):
+        with pytest.raises(AsmError, match="line 3"):
+            assemble(".block main\n    N[0] bro exit0 @exit\n    N[1] bogus\n")
+
+    def test_instruction_outside_block(self):
+        with pytest.raises(AsmError, match="outside"):
+            assemble("N[0] movi #1\n")
+
+    def test_duplicate_slot(self):
+        with pytest.raises(AsmError, match="duplicate body slot"):
+            assemble(".block m\n N[0] movi #1\n N[0] movi #2\n")
+
+    def test_undefined_branch_label(self):
+        with pytest.raises(Exception, match="undefined"):
+            assemble(".block m\n N[0] bro exit0 @nowhere\n")
+
+    def test_bad_target_kind(self):
+        with pytest.raises(AsmError, match="bad target"):
+            assemble(".block m\n N[0] movi #1 N[2,X]\n N[2] teq\n N[1] halt exit0\n")
+
+    def test_lsid_required_for_memory(self):
+        with pytest.raises(AsmError, match="L\\[lsid\\]"):
+            assemble(".block m\n N[0] lw #8 N[1,L]\n")
+
+
+class TestRoundTrip:
+    def test_fig5a_roundtrip(self):
+        prog1 = assemble(FIG5A)
+        text = disassemble(prog1)
+        prog2 = assemble(text)
+        assert len(prog2.blocks) == len(prog1.blocks)
+        b1 = prog1.blocks[prog1.entry]
+        b2 = prog2.blocks[prog2.entry]
+        assert sorted(map(str, b1.body.values())) == sorted(map(str, b2.body.values()))
+        assert {r.reg for r in b1.reads.values()} == {r.reg for r in b2.reads.values()}
+
+    def test_roundtrip_preserves_data_and_regs(self):
+        src = """.entry main
+.data t 9, 8
+.reg R0 = &t
+.reg R8 = 7
+.block main
+    N[0] halt exit0
+"""
+        prog1 = assemble(src)
+        prog2 = assemble(disassemble(prog1))
+        a1 = prog1.initial_regs[0]
+        a2 = prog2.initial_regs[0]
+        assert prog1.data[a1] == prog2.data[a2]
+        assert prog2.initial_regs[8] == 7

@@ -1,0 +1,95 @@
+"""Tests for the OoO baseline timing model."""
+
+import pytest
+
+from repro.baseline.ooo import BaselineConfig, OooCore, run_baseline
+from repro.baseline.srisc import SInst, SriscProgram
+from repro.compiler.srisc import compile_srisc
+from repro.tir import Array, Assign, BinOp, For, Load, Store, TirProgram, V
+
+
+def timing_of(insts, labels=None, config=None):
+    program = SriscProgram(insts=insts, labels=labels or {})
+    return run_baseline(program, config)[1]
+
+
+class TestTimingModel:
+    def test_ilp_is_exploited(self):
+        # eight independent li's retire much faster than a dependent chain
+        indep = [SInst("li", rd=i, imm=i) for i in range(1, 9)]
+        chain = [SInst("li", rd=1, imm=0)] + [
+            SInst("add", rd=1, ra=1, imm=1) for _ in range(7)]
+        t_indep = timing_of(indep + [SInst("halt")])
+        t_chain = timing_of(chain + [SInst("halt")])
+        assert t_indep.cycles < t_chain.cycles
+
+    def test_mem_port_limit(self):
+        # 16 independent loads: 2 ports -> at least 8 issue cycles
+        insts = [SInst("li", rd=1, imm=0x4000)]
+        insts += [SInst("ld", rd=2 + (i % 8), ra=1, imm=8 * i, size=8)
+                  for i in range(16)]
+        insts.append(SInst("halt"))
+        two = timing_of(insts, config=BaselineConfig(mem_ports=2))
+        four = timing_of(insts, config=BaselineConfig(mem_ports=4))
+        assert four.cycles < two.cycles
+
+    def test_branch_mispredict_costs(self):
+        # data-dependent alternating branch: high mispredict rate
+        insts = [
+            SInst("li", rd=1, imm=64),
+            SInst("li", rd=2, imm=0),
+            SInst("and", rd=3, ra=1, imm=1),       # loop:
+            SInst("bz", ra=3, label="even"),
+            SInst("add", rd=2, ra=2, imm=3),
+            SInst("sub", rd=1, ra=1, imm=1),       # even:
+            SInst("bnz", ra=1, label="loop"),
+            SInst("halt"),
+        ]
+        stats = timing_of(insts, labels={"loop": 2, "even": 5})
+        assert stats.branches > 64
+        assert stats.mispredicts > 0
+
+    def test_loop_branch_predicts_well(self):
+        insts = [
+            SInst("li", rd=1, imm=100),
+            SInst("sub", rd=1, ra=1, imm=1),       # loop:
+            SInst("bnz", ra=1, label="loop"),
+            SInst("halt"),
+        ]
+        stats = timing_of(insts, labels={"loop": 1})
+        # warmup (the local history register must fill) + the final exit
+        assert stats.mispredicts <= 15
+        assert stats.mispredicts < stats.branches / 4
+
+    def test_store_load_ordering(self):
+        # a load after an overlapping store cannot issue before it
+        insts = [
+            SInst("li", rd=1, imm=0x4000),
+            SInst("li", rd=2, imm=99),
+            SInst("div", rd=3, ra=2, imm=1),       # slow producer
+            SInst("st", ra=1, rb=3, imm=0, size=8),
+            SInst("ld", rd=4, ra=1, imm=0, size=8),
+            SInst("halt"),
+        ]
+        stats = timing_of(insts)
+        cfg = BaselineConfig()
+        assert stats.cycles > cfg.int_div_latency
+
+    def test_cache_misses_slow_down(self):
+        stride_miss = [SInst("li", rd=1, imm=0x10000)]
+        stride_miss += [SInst("ld", rd=2, ra=1, imm=4096 * i, size=8)
+                        for i in range(16)]
+        stride_miss.append(SInst("halt"))
+        stats = timing_of(stride_miss)
+        assert stats.l1d_misses == 16
+
+    def test_ipc_sane_on_real_workload(self):
+        prog = TirProgram("t",
+            arrays={"a": Array("i64", list(range(64))),
+                    "b": Array("i64", [0] * 64)},
+            body=[For("i", 0, 64, 1, [
+                Store("b", V("i"), Load("a", V("i")) * 3 + 1)], unroll=4)],
+            outputs=["b"])
+        sp = compile_srisc(prog)
+        _, stats = run_baseline(sp)
+        assert 0.5 < stats.ipc <= 4.0

@@ -1,0 +1,26 @@
+"""Shared helpers for compiler tests."""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.tir import interpret
+from repro.uarch import FunctionalSim
+
+
+def co_validate(tir_prog, levels=("tcc", "hand")):
+    """Compile at each level, run on tsim-arch, compare with the interpreter.
+
+    Returns {level: (CompiledProgram, FunctionalSim)} for further checks.
+    """
+    golden = interpret(tir_prog).output_signature(tir_prog.outputs)
+    results = {}
+    for level in levels:
+        compiled = compile_tir(tir_prog, level=level)
+        sim = FunctionalSim(compiled.program)
+        sim.run()
+        got = compiled.extract_outputs(sim.regs, sim.memory)
+        assert got == golden, (
+            f"{tir_prog.name} @ {level}: outputs diverge\n"
+            f"golden: {golden}\ngot:    {got}")
+        results[level] = (compiled, sim)
+    return results

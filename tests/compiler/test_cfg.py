@@ -1,0 +1,176 @@
+"""Unit tests for CFG lowering, level transforms, and liveness."""
+
+import pytest
+
+from repro.compiler.cfg import (
+    CfgBlock,
+    CompileError,
+    CondJump,
+    Halt,
+    Jump,
+    PredRegion,
+    _assigned_vars,
+    _subst_expr,
+    _subst_stmt,
+    block_uses_defs,
+    liveness,
+    lower_to_cfg,
+    stmt_uses_defs,
+)
+from repro.tir import (
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Store,
+    TirProgram,
+    V,
+    Var,
+    While,
+)
+
+
+def prog(body, **kw):
+    return TirProgram("t", body=body, **kw)
+
+
+class TestLowering:
+    def test_tcc_for_produces_head_body_exit(self):
+        cfg = lower_to_cfg(prog([For("i", 0, 4, 1, [Assign("x", V("i"))])]),
+                           "tcc")
+        kinds = [type(b.term).__name__ for b in cfg.blocks]
+        assert "CondJump" in kinds
+        # tcc: entry -> head -> body -> head loop shape: >= 4 blocks
+        assert len(cfg.blocks) >= 4
+
+    def test_hand_rotates_loops(self):
+        cfg = lower_to_cfg(prog([For("i", 0, 4, 1, [Assign("x", V("i"))])]),
+                           "hand")
+        # rotated: the body block's terminator is the back CondJump
+        back = [b for b in cfg.blocks
+                if isinstance(b.term, CondJump) and b.term.if_true == b.label]
+        assert len(back) == 1
+
+    def test_hand_if_converts_simple_arms(self):
+        cfg = lower_to_cfg(prog([
+            Assign("x", Const(1)),
+            If(V("x").gt(0), [Assign("y", Const(1))],
+               [Assign("y", Const(2))])]), "hand")
+        regions = [s for b in cfg.blocks for s in b.stmts
+                   if isinstance(s, PredRegion)]
+        assert len(regions) == 1
+
+    def test_tcc_never_if_converts(self):
+        cfg = lower_to_cfg(prog([
+            Assign("x", Const(1)),
+            If(V("x").gt(0), [Assign("y", Const(1))], [])]), "tcc")
+        assert not any(isinstance(s, PredRegion)
+                       for b in cfg.blocks for s in b.stmts)
+
+    def test_nested_if_falls_back_to_branches(self):
+        cfg = lower_to_cfg(prog([
+            Assign("x", Const(1)),
+            If(V("x").gt(0),
+               [If(V("x").gt(5), [Assign("y", Const(1))], [])],
+               [])]), "hand")
+        # the outer If has a non-simple arm -> CondJump diamond
+        assert any(isinstance(b.term, CondJump) for b in cfg.blocks)
+
+    def test_full_unroll_eliminates_loop(self):
+        cfg = lower_to_cfg(prog([
+            For("i", 0, 4, 1, [Assign("x", V("i") * 2)], unroll=4)]), "hand")
+        # no back edges remain: every terminator is Jump/Halt or forward
+        for b in cfg.blocks:
+            if isinstance(b.term, CondJump):
+                assert b.term.if_true != b.label
+
+    def test_unsafe_unroll_degrades_to_one(self):
+        cfg7 = lower_to_cfg(prog([
+            For("i", 0, 7, 1, [Assign("x", V("i"))], unroll=4)]), "hand")
+        cfg8 = lower_to_cfg(prog([
+            For("i", 0, 8, 1, [Assign("x", V("i"))], unroll=4)]), "hand")
+        count = lambda cfg: sum(len(b.stmts) for b in cfg.blocks)
+        assert count(cfg8) > count(cfg7)   # 8 unrolled, 7 not
+
+    def test_merge_chains_shrinks_hand_cfg(self):
+        body = [Assign("a", Const(1)),
+                If(V("a").gt(0), [Assign("b", Const(1))],
+                   [While(V("a").gt(5), [Assign("a", V("a") - 1)])]),
+                Assign("c", V("a"))]
+        tcc = lower_to_cfg(prog(body), "tcc")
+        hand = lower_to_cfg(prog(body), "hand")
+        assert len(hand.blocks) <= len(tcc.blocks)
+
+    def test_unknown_level(self):
+        with pytest.raises(CompileError):
+            lower_to_cfg(prog([]), "O3")
+
+    def test_unreachable_pruned(self):
+        cfg = lower_to_cfg(prog([
+            For("i", 0, 0, 1, [Assign("x", Const(1))])]), "tcc")
+        labels = {b.label for b in cfg.blocks}
+        for b in cfg.blocks:
+            for succ in cfg.successors(b):
+                assert succ in labels
+
+
+class TestSubstitution:
+    def test_expr_substitution(self):
+        e = _subst_expr(V("i") + Load("a", V("i") * 2), "i", Const(3))
+        from repro.tir import interpret, TirProgram, Array
+        p = TirProgram("t", arrays={"a": Array("i64", [0] * 10)},
+                       scalars={"x": 0},
+                       body=[Assign("x", e)], outputs=["x"])
+        res = interpret(p)
+        assert res.scalars["x"] == 3     # 3 + a[6] where a[6]=0
+
+    def test_stmt_substitution_descends_control_flow(self):
+        s = If(V("i").gt(0), [Store("a", V("i"), V("i"))],
+               [Assign("x", V("i"))])
+        out = _subst_stmt(s, "i", Const(5))
+        assert isinstance(out, If)
+        assert out.then_body[0].index == Const(5)
+
+    def test_substitution_respects_shadowing(self):
+        inner = For("i", 0, 3, 1, [Assign("x", V("i"))])
+        out = _subst_stmt(inner, "i", Const(9))
+        assert out is inner     # inner loop redefines i: untouched
+
+    def test_assigned_vars(self):
+        stmts = [Assign("a", Const(1)),
+                 If(V("a").gt(0), [Assign("b", Const(1))], []),
+                 For("k", 0, 2, 1, [Assign("c", V("k"))])]
+        assert _assigned_vars(stmts) == {"a", "b", "c", "k"}
+
+
+class TestLiveness:
+    def test_straightline(self):
+        block = CfgBlock("b", [Assign("x", Const(1)),
+                               Assign("y", V("x") + V("z"))], Halt())
+        uses, defs = block_uses_defs(block)
+        assert uses == {"z"}             # x defined before use
+        assert defs == {"x", "y"}
+
+    def test_pred_region_one_sided_def_counts_as_use(self):
+        region = PredRegion(V("c").gt(0), [Assign("x", Const(1))], [])
+        uses, defs = stmt_uses_defs(region)
+        assert "x" in uses and "x" in defs and "c" in uses
+
+    def test_loop_carried_liveness(self):
+        cfg = lower_to_cfg(prog([
+            Assign("acc", Const(0)),
+            For("i", 0, 4, 1, [Assign("acc", V("acc") + V("i"))])],
+            scalars={}), "tcc")
+        live = liveness(cfg, exit_live={"acc"})
+        # acc is live around the back edge
+        heads = [b for b in cfg.blocks if isinstance(b.term, CondJump)]
+        assert any("acc" in live[b.label][0] for b in heads)
+
+    def test_exit_live_reaches_halt_blocks(self):
+        cfg = lower_to_cfg(prog([Assign("x", Const(1))]), "tcc")
+        live = liveness(cfg, exit_live={"x", "ghost"})
+        halt_blocks = [b for b in cfg.blocks if isinstance(b.term, Halt)]
+        for b in halt_blocks:
+            assert "ghost" in live[b.label][1]

@@ -1,0 +1,116 @@
+"""Unit tests for materialization (DCE, fanout, cloning) and scheduling."""
+
+import pytest
+
+from repro.compiler.dag import BlockDag
+from repro.compiler.emit import materialize
+from repro.isa import Opcode, OperandKind
+from repro.tir import Array, Const, V
+from repro.tir.ir import BinOp, Load
+
+
+def fresh_dag(arrays=None, addrs=None, var_regs=None):
+    return BlockDag(var_regs or {"x": 0, "y": 1, "z": 2},
+                    addrs or {"a": 0x100000},
+                    arrays or {"a": Array("i64", [0] * 64)})
+
+
+class TestMaterialization:
+    def test_dead_code_eliminated(self):
+        dag = fresh_dag()
+        dag.set_var("x", dag.expr(BinOp("add", Const(1), Const(2))))  # dead
+        live = dag.expr(BinOp("mul", V("y"), Const(3)))
+        dag.add_write(1, live)
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        mnemonics = [i.opcode.mnemonic for i in block.body.values()]
+        # the constant-folded dead add (a movi) is gone
+        assert "halt" in mnemonics
+        assert len(block.reads) == 1          # only y read
+
+    def test_dead_load_dropped_and_lsids_compacted(self):
+        dag = fresh_dag()
+        dag.expr(Load("a", Const(0)))                  # dead load, LSID 0
+        kept = dag.expr(Load("a", Const(1)))           # LSID 1
+        dag.store("a", Const(2), V("y"))               # LSID 2
+        dag.add_write(0, kept)
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        lsids = sorted(i.lsid for i in block.body.values()
+                       if i.opcode.is_memory)
+        assert lsids == [0, 1]                          # compacted
+
+    def test_fanout_tree_inserted_for_unclonable_producer(self):
+        dag = fresh_dag()
+        # a load is not clonable: over-fanout must build a mov tree
+        shared = dag.expr(Load("a", V("x")))
+        for k in range(6):
+            dag.add_write(k * 4, shared)    # 6 consumers > cap 2
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        movs = [i for i in block.body.values() if i.opcode is Opcode.MOV]
+        assert len(movs) >= 4                # 6 endpoints, cap 2 -> 4 movs
+
+    def test_cheap_op_cloned_instead_of_tree(self):
+        dag = fresh_dag()
+        # an add feeding 6 write slots: cloning replicates the cheap op
+        # rather than paying mov-tree latency
+        shared = dag.expr(BinOp("add", V("x"), V("y")))
+        for k in range(6):
+            dag.add_write(k * 4, shared)
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        adds = [i for i in block.body.values() if i.opcode is Opcode.ADD]
+        assert len(adds) >= 3                # original + >= 2 clones
+
+    def test_every_instruction_gets_a_unique_slot(self):
+        dag = fresh_dag()
+        acc = dag.expr(V("x"))
+        for k in range(20):
+            acc = dag.expr(BinOp("add", V("x"), Const(k)))
+            dag.add_write(0, acc) if k == 19 else None
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        assert len(set(block.body.keys())) == len(block.body)
+        block.validate()
+
+    def test_predicated_branch_pair(self):
+        dag = fresh_dag()
+        cond = dag.expr(BinOp("gt", V("x"), Const(0)))
+        dag.branch_cond(cond, "then_l", "else_l")
+        block = materialize(dag, "t")
+        branches = [block.body[s] for s in block.branches()]
+        assert {b.pred for b in branches} == {True, False}
+        assert {b.exit_no for b in branches} == {0, 1}
+        assert {getattr(b, "label", None) for b in branches} == \
+            {"then_l", "else_l"}
+
+
+class TestSchedulerPlacement:
+    def test_slots_map_to_distinct_stations(self):
+        dag = fresh_dag()
+        nodes = [dag.expr(BinOp("add", V("x"), Const(k))) for k in range(30)]
+        for k, n in enumerate(nodes[:8]):
+            dag.add_write((k % 8) * 4, n)
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        per_et = {}
+        for slot in block.body:
+            per_et.setdefault(slot % 16, []).append(slot // 16)
+        for et, stations in per_et.items():
+            assert len(set(stations)) == len(stations)
+            assert max(stations) < 8
+
+    def test_dependent_chain_placed_compactly(self):
+        # a chain rooted at a bank-0 read should hug the west side
+        dag = fresh_dag()
+        v = dag.read_var("x")       # reg 0 -> RT0 at (0,1)
+        node = v
+        for _ in range(4):
+            node = dag.expr(BinOp("add", V("x"), Const(1)))
+        dag.add_write(0, node)
+        dag.branch_halt()
+        block = materialize(dag, "t")
+        cols = [1 + (slot % 16) % 4 for slot, inst in block.body.items()
+                if inst.opcode is Opcode.ADDI]
+        assert cols and sum(cols) / len(cols) <= 2.5

@@ -1,0 +1,134 @@
+"""Differential testing: random TIR programs across every execution model.
+
+Hypothesis generates small structured programs (arithmetic, arrays, loops,
+branches); the TIR interpreter's outputs are the oracle and the TRIPS
+functional simulator (both compile levels) plus the SRISC baseline must
+agree bit for bit.  A thinner sample also runs the cycle-level simulator.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.baseline.ooo import run_baseline
+from repro.compiler import compile_tir
+from repro.compiler.srisc import compile_srisc
+from repro.tir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    For,
+    If,
+    Load,
+    Store,
+    TirProgram,
+    UnOp,
+    V,
+    interpret,
+)
+from repro.tir.semantics import truncate_load
+from repro.uarch import FunctionalSim
+from repro.uarch.proc import TripsProcessor
+
+ARRAY_LEN = 8
+VARS = ["v0", "v1", "v2"]
+SAFE_BINOPS = ["add", "sub", "mul", "and", "or", "xor",
+               "eq", "ne", "lt", "ge", "div", "rem", "shl", "sra"]
+
+
+def exprs(depth):
+    base = st.one_of(
+        st.integers(-100, 100).map(Const),
+        st.sampled_from(VARS).map(V),
+        st.integers(0, ARRAY_LEN - 1).map(lambda i: Load("arr", Const(i))),
+    )
+    if depth <= 0:
+        return base
+    sub = exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(st.sampled_from(SAFE_BINOPS), sub, sub).map(
+            lambda t: BinOp(t[0], _shift_safe(t[0], t[1]), _shift_guard(t[0], t[2]))),
+        sub.map(lambda e: UnOp("not", e)),
+    )
+
+
+def _shift_safe(op, e):
+    return e
+
+
+def _shift_guard(op, e):
+    # keep shift amounts bounded so semantics stay interesting
+    if op in ("shl", "sra"):
+        return BinOp("and", e, Const(7))
+    return e
+
+
+def stmts(depth):
+    assign = st.tuples(st.sampled_from(VARS), exprs(2)).map(
+        lambda t: Assign(t[0], t[1]))
+    store = st.tuples(st.integers(0, ARRAY_LEN - 1), exprs(1)).map(
+        lambda t: Store("arr", Const(t[0]), t[1]))
+    if depth <= 0:
+        return st.one_of(assign, store)
+    inner = st.lists(stmts(depth - 1), min_size=1, max_size=3)
+    loop = st.tuples(st.integers(1, 4), inner).map(
+        lambda t: For("it%d" % depth, 0, t[0], 1, t[1]))
+    branch = st.tuples(exprs(1), inner,
+                       st.lists(stmts(depth - 1), max_size=2)).map(
+        lambda t: If(BinOp("ge", t[0], Const(0)), t[1], t[2]))
+    return st.one_of(assign, store, loop, branch)
+
+
+programs = st.lists(stmts(2), min_size=1, max_size=5).map(
+    lambda body: TirProgram(
+        "rand",
+        arrays={"arr": Array("i64", [((i * 13) % 7) - 3
+                                     for i in range(ARRAY_LEN)])},
+        scalars={name: i - 1 for i, name in enumerate(VARS)},
+        body=body,
+        outputs=["arr"] + VARS))
+
+
+def _baseline_outputs(prog):
+    sp = compile_srisc(prog)
+    functional, _ = run_baseline(sp)
+    parts = []
+    for out in prog.outputs:
+        if out in prog.arrays:
+            arr = prog.arrays[out]
+            base = sp.array_addrs[out]
+            parts.append((out, tuple(
+                truncate_load(functional.memory.read(base + i * 8, 8), 8,
+                              True)
+                for i in range(len(arr.data)))))
+        else:
+            parts.append((out, functional.regs[sp.var_regs[out]]))
+    return tuple(parts)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(programs)
+def test_all_functional_models_agree(prog):
+    golden = interpret(prog).output_signature(prog.outputs)
+    for level in ("tcc", "hand"):
+        compiled = compile_tir(prog, level=level)
+        sim = FunctionalSim(compiled.program)
+        sim.run()
+        got = compiled.extract_outputs(sim.regs, sim.memory)
+        assert got == golden, f"level {level} diverged"
+    assert _baseline_outputs(prog) == golden, "baseline diverged"
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(programs)
+def test_cycle_simulator_agrees(prog):
+    golden = interpret(prog).output_signature(prog.outputs)
+    compiled = compile_tir(prog, level="hand")
+    proc = TripsProcessor(compiled.program)
+    proc.run()
+    assert compiled.extract_outputs(proc.regs, proc.memory) == golden

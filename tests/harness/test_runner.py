@@ -1,0 +1,81 @@
+"""Tests for the experiment harness."""
+
+import pytest
+
+from repro.harness import (
+    compare_workload,
+    render_table,
+    run_baseline_workload,
+    run_trips_workload,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.harness.runner import ValidationError
+from repro.tir import Assign, Const, TirProgram, V
+from repro.uarch.config import TripsConfig
+
+
+class TestRunner:
+    def test_run_trips_validates(self):
+        run = run_trips_workload("vadd", level="hand")
+        assert run.cycles > 0
+        assert run.ipc > 0
+        assert run.stats.blocks_committed > 0
+
+    def test_run_baseline_validates(self):
+        run = run_baseline_workload("vadd")
+        assert run.cycles > 0
+
+    def test_accepts_tir_program_directly(self):
+        prog = TirProgram("tiny", scalars={"x": 0},
+                          body=[Assign("x", Const(41) + 1)], outputs=["x"])
+        run = run_trips_workload(prog, level="tcc")
+        assert run.name == "tiny"
+
+    def test_compare_has_both_levels(self):
+        cmp = compare_workload("vadd")
+        assert cmp.speedup_tcc > 0
+        assert cmp.speedup_hand > cmp.speedup_tcc
+        assert cmp.ipc_alpha > 0
+
+    def test_trace_flag_collects_events(self):
+        run = run_trips_workload("qr", level="hand", trace=True)
+        assert run.proc.trace is not None
+        assert len(run.proc.trace.blocks) > 0
+
+
+class TestTables:
+    def test_table1_shape(self):
+        rows = table1_rows()
+        assert rows[0]["Tile"] == "GT"
+        assert rows[-1]["Tile"] == "Chip Total"
+
+    def test_table2_shape(self):
+        rows = table2_rows()
+        assert len(rows) == 8
+
+    def test_table3_single_row(self):
+        rows = table3_rows(["qr"])
+        row = rows[0]
+        assert row["Benchmark"] == "qr"
+        overhead = sum(row[k] for k in
+                       ("IFetch", "OPN Hops", "OPN Cont.", "Fanout Ops",
+                        "Block Complete", "Block Commit", "Other"))
+        assert abs(overhead - 100.0) < 0.5
+        assert row["Speedup Hand"] is not None
+
+    def test_table3_spec_has_no_hand_column(self):
+        rows = table3_rows(["mcf"])
+        assert rows[0]["Speedup Hand"] is None
+        assert rows[0]["IPC Hand"] is None
+
+    def test_render_table(self):
+        text = render_table([{"A": 1, "B": None}, {"A": 2.5, "B": "x"}],
+                            title="T")
+        assert "T" in text and "—" in text and "2.50" in text
+
+    def test_table3_with_ablation_config(self):
+        rows = table3_rows(["qr"], config=TripsConfig(speculative_blocks=0),
+                           include_performance=False)
+        assert "Speedup TCC" not in rows[0]

@@ -1,0 +1,75 @@
+"""Unit tests for the shared opcode ALU (isa/alu.py)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Instruction, Opcode, make
+from repro.isa.alu import AluError, effective_address, execute
+from repro.tir import bits_to_float, bits_to_int, float_to_bits, int_to_bits
+
+u64 = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestExecute:
+    def test_binops_match_semantics(self):
+        assert execute(make("add"), 3, 4) == 7
+        assert execute(make("sub"), 3, 4) == int_to_bits(-1)
+        assert execute(make("mul"), 1 << 63, 2) == 0          # wraps
+        assert execute(make("divs"), int_to_bits(-9), 2) == int_to_bits(-4)
+        assert execute(make("sra"), int_to_bits(-8), 2) == int_to_bits(-2)
+
+    def test_tests_produce_01(self):
+        assert execute(make("tlt"), int_to_bits(-1), 0) == 1
+        assert execute(make("tgeu"), int_to_bits(-1), 0) == 1  # unsigned
+        assert execute(make("teq"), 5, 5) == 1
+        assert execute(make("tne"), 5, 5) == 0
+
+    def test_immediate_forms(self):
+        assert execute(make("addi", imm=5), 10) == 15
+        assert execute(make("subi", imm=3), 10) == 7
+        assert execute(make("tlti", imm=0), int_to_bits(-2)) == 1
+        assert execute(make("slli", imm=4), 1) == 16
+
+    def test_fp_ops(self):
+        a, b = float_to_bits(1.5), float_to_bits(2.5)
+        assert bits_to_float(execute(make("fadd"), a, b)) == 4.0
+        assert execute(make("flt"), a, b) == 1
+        assert execute(make("fge"), a, b) == 0
+
+    def test_constants(self):
+        assert execute(make("movi", const=-7)) == int_to_bits(-7)
+        assert execute(make("movih", const=0x1234), 0x5) == 0x51234
+        # movih with a negative-looking chunk masks to 16 bits
+        assert execute(make("movih", const=-1), 0) == 0xFFFF
+
+    def test_mov_passthrough(self):
+        assert execute(make("mov"), 0xDEAD) == 0xDEAD
+
+    def test_unops(self):
+        assert execute(make("not"), 0) == 2**64 - 1
+        assert bits_to_float(execute(make("itof"), int_to_bits(-3))) == -3.0
+
+    def test_memory_ops_rejected(self):
+        with pytest.raises(AluError):
+            execute(make("lw", lsid=0), 0)
+        with pytest.raises(AluError):
+            execute(make("bro", offset=0))
+
+    @given(u64, u64)
+    def test_add_sub_inverse_property(self, a, b):
+        s = execute(make("add"), a, b)
+        assert execute(make("sub"), s, b) == a
+
+
+class TestEffectiveAddress:
+    def test_load_address(self):
+        inst = make("lw", lsid=0, imm=-4)
+        assert effective_address(inst, 0x1004) == 0x1000
+
+    def test_wraps(self):
+        inst = make("ld", lsid=0, imm=8)
+        assert effective_address(inst, 2**64 - 4) == 4
+
+    def test_non_memory_rejected(self):
+        with pytest.raises(AluError):
+            effective_address(make("add"), 0)

@@ -1,0 +1,223 @@
+"""Unit tests for TRIPS block structure, validation, and header codec."""
+
+import pytest
+
+from repro.isa import (
+    BlockError,
+    Instruction,
+    Opcode,
+    OperandKind,
+    ReadInstruction,
+    Target,
+    TripsBlock,
+    WriteInstruction,
+    make,
+    reg_bank,
+)
+
+
+def t(slot, kind="l"):
+    kinds = {"l": OperandKind.LEFT, "r": OperandKind.RIGHT,
+             "p": OperandKind.PRED, "w": OperandKind.WRITE}
+    return Target(slot, kinds[kind])
+
+
+def minimal_block(name="b"):
+    """Smallest legal block: a single unconditional branch."""
+    blk = TripsBlock(name=name)
+    blk.body[0] = make("bro", offset=128)
+    return blk
+
+
+def paper_example_block():
+    """The Figure 5a example block, as written in the paper.
+
+    R[0] read R4    -> N[1,L] N[2,L]
+    N[0] movi #0    -> N[1,R]
+    N[1] teq        -> N[2,P] N[3,P]
+    N[2] muli_f #4  -> N[32,L]
+    N[3] null_t     -> N[34,L] N[34,R]
+    N[32] lw #8     -> N[33,L]           LSID=0
+    N[33] mov       -> N[34,L] N[34,R]
+    N[34] sw #0                          LSID=1
+    N[35] callo $func1
+    """
+    blk = TripsBlock(name="fig5a")
+    blk.reads[0] = ReadInstruction(4, [t(1, "l"), t(2, "l")])
+    blk.body[0] = make("movi", const=0, targets=[t(1, "r")])
+    blk.body[1] = make("teq", targets=[t(2, "p"), t(3, "p")])
+    blk.body[2] = make("muli_f", imm=4, targets=[t(32, "l")])
+    blk.body[3] = make("null_t", targets=[t(34, "l"), t(34, "r")])
+    blk.body[32] = make("lw", lsid=0, imm=8, targets=[t(33, "l")])
+    blk.body[33] = make("mov", targets=[t(34, "l"), t(34, "r")])
+    blk.body[34] = make("sw", lsid=1, imm=0)
+    blk.body[35] = make("callo", offset=1024)
+    return blk
+
+
+class TestBlockStructure:
+    def test_paper_example_is_valid(self):
+        paper_example_block().validate()
+
+    def test_store_mask(self):
+        blk = paper_example_block()
+        assert blk.store_mask == 0b10  # LSID 1 is the store
+        assert blk.load_mask == 0b01
+
+    def test_num_outputs(self):
+        blk = paper_example_block()
+        # one store + one branch, no register writes
+        assert blk.num_outputs == 2
+
+    def test_body_chunks(self):
+        assert minimal_block().num_body_chunks == 1
+        blk = paper_example_block()
+        assert blk.num_body_chunks == 2   # slots up to 35 -> 2 chunks
+        blk.body[96] = make("mov", targets=[t(34, "l")])
+        assert blk.num_body_chunks == 4
+        assert blk.size_bytes == 5 * 128
+
+    def test_too_many_mem_ops(self):
+        blk = minimal_block()
+        blk.body[0] = make("bro", offset=128)
+        for i in range(33):
+            blk.body[1 + i] = make("lw", lsid=i % 32, targets=[t(80, "l")])
+        blk.body[80] = make("mov", targets=[t(81, "l")])
+        blk.body[81] = make("teq")
+        with pytest.raises(BlockError):
+            blk.validate()
+
+    def test_duplicate_lsid_rejected(self):
+        blk = minimal_block()
+        blk.body[1] = make("lw", lsid=0, targets=[t(2, "l")])
+        blk.body[2] = make("lw", lsid=0, targets=[t(3, "l")])
+        blk.body[3] = make("mov")
+        with pytest.raises(BlockError, match="LSID"):
+            blk.validate()
+
+    def test_block_needs_branch(self):
+        blk = TripsBlock()
+        blk.body[0] = make("movi", const=1)
+        with pytest.raises(BlockError, match="branch"):
+            blk.validate()
+
+    def test_target_to_empty_slot_rejected(self):
+        blk = minimal_block()
+        blk.body[1] = make("movi", const=1, targets=[t(99)])
+        with pytest.raises(BlockError, match="empty body slot"):
+            blk.validate()
+
+    def test_right_operand_to_unary_rejected(self):
+        blk = minimal_block()
+        blk.body[1] = make("movi", const=1, targets=[t(2, "r")])
+        blk.body[2] = make("mov")
+        with pytest.raises(BlockError, match="right operand"):
+            blk.validate()
+
+    def test_pred_to_unpredicated_rejected(self):
+        blk = minimal_block()
+        blk.body[1] = make("teq", targets=[t(2, "p")])
+        blk.body[2] = make("mov")
+        with pytest.raises(BlockError, match="predicate"):
+            blk.validate()
+
+
+class TestRegisterBanking:
+    def test_bank_function(self):
+        assert [reg_bank(r) for r in (0, 1, 2, 3, 4, 7)] == [0, 1, 2, 3, 0, 3]
+
+    def test_read_slot_must_match_bank(self):
+        blk = minimal_block()
+        # register 5 is bank 1, so slots 8..15 only
+        blk.reads[0] = ReadInstruction(5, [t(0, "p")])
+        with pytest.raises(BlockError, match="bank"):
+            blk.validate()
+
+    def test_correct_bank_accepted(self):
+        blk = minimal_block()
+        blk.body[0] = make("bro", offset=128)
+        blk.body[1] = make("mov", targets=[t(2, "l")])
+        blk.body[2] = make("teq")
+        blk.reads[8] = ReadInstruction(5, [t(1, "l")])
+        blk.validate()
+
+    def test_write_slot_must_match_bank(self):
+        blk = minimal_block()
+        blk.writes[0] = WriteInstruction(6)  # bank 2 -> slots 16..23
+        blk.body[1] = make("movi", const=0, targets=[t(0, "w")])
+        with pytest.raises(BlockError, match="bank"):
+            blk.validate()
+
+    def test_duplicate_written_register_rejected(self):
+        blk = minimal_block()
+        blk.writes[0] = WriteInstruction(4)
+        blk.writes[1] = WriteInstruction(4)
+        blk.body[1] = make("movi", const=0, targets=[t(0, "w")])
+        blk.body[2] = make("movi", const=0, targets=[t(1, "w")])
+        with pytest.raises(BlockError, match="same register"):
+            blk.validate()
+
+
+class TestConstantOutputRule:
+    def test_unproduced_write_rejected(self):
+        blk = minimal_block()
+        blk.writes[0] = WriteInstruction(4)
+        with pytest.raises(BlockError, match="no producer"):
+            blk.validate()
+
+    def test_two_producers_one_unpredicated_rejected(self):
+        blk = minimal_block()
+        blk.writes[0] = WriteInstruction(4)
+        blk.body[1] = make("movi", const=0, targets=[t(0, "w")])
+        blk.body[2] = make("teq", targets=[t(3, "p")])
+        blk.body[3] = make("mov_t", targets=[t(0, "w")])
+        with pytest.raises(BlockError, match="constant"):
+            blk.validate()
+
+    def test_complementary_predicated_producers_accepted(self):
+        blk = minimal_block()
+        blk.writes[0] = WriteInstruction(4)
+        blk.body[1] = make("teq", targets=[t(2, "p"), t(3, "p")])
+        blk.body[2] = make("mov_t", targets=[t(0, "w")])
+        blk.body[3] = make("mov_f", targets=[t(0, "w")])
+        blk.validate()
+
+
+class TestBlockCodec:
+    def test_header_roundtrip(self):
+        blk = paper_example_block()
+        blk.writes[8] = WriteInstruction(5)
+        blk.body[4] = make("movi", const=3, targets=[t(8, "w")])
+        header = blk.encode_header()
+        assert len(header) == 128
+        again = TripsBlock.decode_header(header)
+        assert again.reads.keys() == blk.reads.keys()
+        assert again.reads[0].reg == 4
+        assert again.reads[0].targets == blk.reads[0].targets
+        assert again.writes[8].reg == 5
+        assert again.store_mask == 0  # store mask is derived from body
+
+    def test_full_roundtrip(self):
+        blk = paper_example_block()
+        image = blk.encode()
+        assert len(image) == blk.size_bytes
+        again = TripsBlock.decode(image)
+        assert again.body.keys() == blk.body.keys()
+        for slot in blk.body:
+            assert str(again.body[slot]) == str(blk.body[slot])
+        again.validate()
+
+    def test_decode_rejects_short_image(self):
+        with pytest.raises(BlockError):
+            TripsBlock.decode(b"\x00" * 128)
+
+    def test_decode_rejects_inconsistent_chunk_count(self):
+        blk = paper_example_block()
+        image = blk.encode() + b"\xff" * 128
+        with pytest.raises(BlockError, match="disagrees"):
+            TripsBlock.decode(image)
+
+    def test_listing_mentions_all_slots(self):
+        text = paper_example_block().listing()
+        for frag in ("read R4", "teq", "lw", "sw", "callo"):
+            assert frag in text

@@ -1,0 +1,175 @@
+"""Unit tests for instruction word encoding/decoding (Figure 1)."""
+
+import pytest
+
+from repro.isa import (
+    EncodingError,
+    Format,
+    Instruction,
+    Opcode,
+    OperandKind,
+    Target,
+    make,
+)
+
+
+def t(slot, kind="l"):
+    kinds = {"l": OperandKind.LEFT, "r": OperandKind.RIGHT,
+             "p": OperandKind.PRED, "w": OperandKind.WRITE}
+    return Target(slot, kinds[kind])
+
+
+class TestTarget:
+    def test_encode_decode_roundtrip(self):
+        for slot in (0, 1, 63, 127):
+            for kind in OperandKind:
+                if kind is OperandKind.WRITE and slot > 31:
+                    continue
+                tgt = Target(slot, kind)
+                assert Target.decode(tgt.encode()) == tgt
+
+    def test_write_slot_bound(self):
+        with pytest.raises(ValueError):
+            Target(32, OperandKind.WRITE)
+
+    def test_body_slot_bound(self):
+        with pytest.raises(ValueError):
+            Target(128, OperandKind.LEFT)
+
+    def test_str_forms(self):
+        assert str(t(3, "p")) == "N[3,P]"
+        assert str(t(5, "w")) == "W[5]"
+
+
+class TestGFormat:
+    def test_roundtrip_two_targets(self):
+        inst = make("add", targets=[t(4, "l"), t(9, "r")])
+        again = Instruction.decode(inst.encode())
+        assert again.opcode is Opcode.ADD
+        assert set(again.targets) == {t(4, "l"), t(9, "r")}
+
+    def test_predicate_roundtrip(self):
+        for pred in (None, True, False):
+            inst = make("mov", pred=pred, targets=[t(1)])
+            assert Instruction.decode(inst.encode()).pred == pred
+
+    def test_too_many_targets_rejected(self):
+        with pytest.raises(EncodingError):
+            make("addi", imm=1, targets=[t(1), t(2)])
+
+    def test_no_targets_ok(self):
+        inst = make("teq")
+        assert Instruction.decode(inst.encode()).targets == []
+
+
+class TestIFormat:
+    @pytest.mark.parametrize("imm", [-8192, -1, 0, 1, 8191])
+    def test_immediate_roundtrip(self, imm):
+        inst = make("addi", imm=imm, targets=[t(7)])
+        assert Instruction.decode(inst.encode()).imm == imm
+
+    @pytest.mark.parametrize("imm", [8192, -8193])
+    def test_immediate_overflow(self, imm):
+        with pytest.raises(EncodingError):
+            make("addi", imm=imm, targets=[t(7)])
+
+
+class TestMemoryFormats:
+    def test_load_roundtrip(self):
+        inst = make("lw", lsid=9, imm=-4, targets=[t(33, "r")])
+        again = Instruction.decode(inst.encode())
+        assert (again.opcode, again.lsid, again.imm) == (Opcode.LW, 9, -4)
+        assert again.targets == [t(33, "r")]
+
+    def test_store_has_no_targets(self):
+        inst = make("sw", lsid=3, imm=8)
+        again = Instruction.decode(inst.encode())
+        assert again.targets == []
+        assert again.lsid == 3 and again.imm == 8
+
+    def test_lsid_range(self):
+        with pytest.raises(EncodingError):
+            make("sw", lsid=32)
+
+    def test_store_data_is_second_operand(self):
+        assert Opcode.SW.num_operands == 2
+        assert Opcode.LW.num_operands == 1
+
+
+class TestBranchFormat:
+    def test_bro_roundtrip(self):
+        inst = make("bro", exit_no=5, offset=-384)
+        again = Instruction.decode(inst.encode())
+        assert (again.exit_no, again.offset) == (5, -384)
+
+    def test_callo_with_link_target(self):
+        inst = make("callo", exit_no=1, offset=640, targets=[t(12, "w")])
+        again = Instruction.decode(inst.encode())
+        assert again.targets == [t(12, "w")]
+        assert again.offset == 640 and again.exit_no == 1
+
+    def test_callo_link_target_must_be_write(self):
+        inst = make("callo", offset=0)
+        inst.targets = [t(12, "l")]
+        with pytest.raises(EncodingError):
+            inst.encode()
+
+    def test_exit_range(self):
+        with pytest.raises(EncodingError):
+            make("bro", exit_no=8)
+
+    def test_predicated_branch(self):
+        inst = make("bro_t", exit_no=2, offset=128)
+        again = Instruction.decode(inst.encode())
+        assert again.pred is True
+
+
+class TestConstantFormat:
+    @pytest.mark.parametrize("const", [-32768, -1, 0, 42, 32767])
+    def test_movi_roundtrip(self, const):
+        inst = make("movi", const=const, targets=[t(2)])
+        assert Instruction.decode(inst.encode()).const == const
+
+    def test_constant_cannot_be_predicated(self):
+        with pytest.raises(EncodingError):
+            make("movi_t", const=1, targets=[t(2)])
+
+
+class TestOpcodeTable:
+    def test_all_opcodes_roundtrip_bare(self):
+        for op in Opcode:
+            kwargs = {}
+            if op.format is Format.B:
+                kwargs = {"offset": 128}
+            inst = Instruction(op, **kwargs)
+            assert Instruction.decode(inst.encode()).opcode is op
+
+    def test_opcode_space_fits(self):
+        assert len(list(Opcode)) <= 128
+
+    def test_divide_not_pipelined(self):
+        assert Opcode.DIVS.latency == 24
+        assert not Opcode.DIVS.value.pipelined
+
+    def test_class_predicates(self):
+        assert Opcode.LW.is_load and Opcode.LW.is_memory
+        assert Opcode.SW.is_store and not Opcode.SW.is_load
+        assert Opcode.BRO.is_branch
+        assert Opcode.FMUL.uses_fpu
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            make("frobnicate")
+
+    def test_pred_suffix_parsing(self):
+        assert make("mov_f", targets=[t(0)]).pred is False
+        assert make("null").pred is None
+
+    def test_decode_rejects_reserved_pr(self):
+        word = make("add").encode() | (1 << 23)
+        with pytest.raises(EncodingError):
+            Instruction.decode(word)
+
+    def test_str_contains_mnemonic(self):
+        assert "lw" in str(make("lw", lsid=1, targets=[t(3)]))
+        assert "_f" in str(make("mov_f", targets=[t(0)]))

@@ -1,0 +1,98 @@
+"""Unit tests for program images and the ProgramBuilder."""
+
+import pytest
+
+from repro.isa import (
+    CHUNK_BYTES,
+    Program,
+    ProgramBuilder,
+    ProgramError,
+    TripsBlock,
+    make,
+)
+
+
+def branch_block(label=None, offset=0):
+    blk = TripsBlock()
+    inst = make("bro", offset=offset)
+    if label is not None:
+        inst.label = label
+    blk.body[0] = inst
+    return blk
+
+
+class TestProgram:
+    def test_alignment_enforced(self):
+        prog = Program()
+        with pytest.raises(ProgramError, match="aligned"):
+            prog.add_block(0x1004, branch_block(offset=128))
+
+    def test_duplicate_address_rejected(self):
+        prog = Program()
+        blk = branch_block(offset=0)
+        blk.body[0].offset = 0
+        prog.add_block(0x1000, branch_block(offset=-0x1000))
+        with pytest.raises(ProgramError, match="two blocks"):
+            prog.add_block(0x1000, branch_block(offset=-0x1000))
+
+    def test_validate_checks_branch_targets(self):
+        prog = Program(entry=0x1000)
+        prog.add_block(0x1000, branch_block(offset=0x500))
+        with pytest.raises(ProgramError, match="no block"):
+            prog.validate()
+
+    def test_branch_to_exit_allowed(self):
+        prog = Program(entry=0x1000)
+        prog.add_block(0x1000, branch_block(offset=-0x1000))
+        prog.validate()
+
+    def test_memory_image_contains_code_and_data(self):
+        prog = Program(entry=0x1000)
+        prog.add_block(0x1000, branch_block(offset=-0x1000))
+        prog.add_data(0x2000, b"\x01\x02")
+        image = prog.memory_image()
+        assert len(image[0x1000]) == 2 * CHUNK_BYTES
+        assert image[0x2000] == b"\x01\x02"
+
+
+class TestProgramBuilder:
+    def test_labels_resolve(self):
+        pb = ProgramBuilder(base=0x1000)
+        pb.append(branch_block(label="second"), label="first")
+        pb.append(branch_block(label="@exit"), label="second")
+        prog = pb.finish()
+        first = prog.blocks[prog.labels["first"]]
+        second_addr = prog.labels["second"]
+        assert prog.labels["first"] + first.body[0].offset == second_addr
+        assert prog.entry == 0x1000
+
+    def test_blocks_pack_contiguously(self):
+        pb = ProgramBuilder(base=0x1000)
+        a = pb.append(branch_block(label="@exit"))
+        blk = branch_block(label="@exit")
+        blk.body[40] = make("movi", const=0, targets=[])
+        b = pb.append(blk)
+        assert b == a + 2 * CHUNK_BYTES  # first block: header + 1 chunk
+
+    def test_undefined_label(self):
+        pb = ProgramBuilder()
+        pb.append(branch_block(label="nowhere"))
+        with pytest.raises(ProgramError, match="undefined label"):
+            pb.finish()
+
+    def test_duplicate_label(self):
+        pb = ProgramBuilder()
+        pb.append(branch_block(label="@exit"), label="x")
+        with pytest.raises(ProgramError, match="duplicate"):
+            pb.append(branch_block(label="@exit"), label="x")
+
+    def test_data_alignment(self):
+        pb = ProgramBuilder(data_base=0x100001)
+        addr = pb.add_data(b"abc", align=8)
+        assert addr % 8 == 0
+
+    def test_static_instruction_count(self):
+        pb = ProgramBuilder()
+        pb.append(branch_block(label="@exit"))
+        prog = pb.finish()
+        assert prog.static_instruction_count() == 1

@@ -1,0 +1,58 @@
+"""Smoke tests: every example script runs to completion and tells the truth.
+
+The examples double as end-to-end integration tests: each one asserts its
+own invariants internally (quickstart compares against golden outputs,
+dataflow_predication checks both predicate paths, etc.).
+"""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "outputs match golden" in out
+    assert "vs baseline" in out
+
+
+def test_dataflow_predication(capsys):
+    out = run_example("dataflow_predication", capsys)
+    assert "store performed" in out
+    assert "store suppressed" in out
+
+
+def test_protocol_trace(capsys):
+    out = run_example("protocol_trace", capsys)
+    assert "committed" in out
+    assert "fetch-to-fetch gaps" in out
+
+
+@pytest.mark.slow
+def test_vadd_bandwidth(capsys):
+    out = run_example("vadd_bandwidth", capsys)
+    assert "TRIPS speedup" in out
+
+
+def test_nuca_modes(capsys):
+    out = run_example("nuca_modes", capsys)
+    assert "shared_l2" in out and "scratchpad" in out
+    assert "copied (ok)" in out
+
+
+def test_dual_core(capsys):
+    out = run_example("dual_core", capsys)
+    assert "(correct)" in out
+    assert "DMA transfer" in out

@@ -1,0 +1,234 @@
+"""Tests for tsim-arch, the functional block-dataflow simulator.
+
+These tests execute hand-written assembly, including the paper's Figure 5a
+example, checking dataflow firing rules, predication/null-token semantics,
+LSID-ordered memory, and block-atomic commit.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.tir import bits_to_int
+from repro.uarch import FunctionalSim, SimError
+
+
+def run(text):
+    sim = FunctionalSim(assemble(text))
+    sim.run()
+    return sim
+
+
+class TestStraightLine:
+    def test_movi_write(self):
+        sim = run(""".block main
+    W[0] write R4
+    N[0] movi #42 W[0]
+    N[1] halt exit0
+""")
+        assert sim.regs[4] == 42
+
+    def test_arith_chain(self):
+        sim = run(""".block main
+    W[0] write R4
+    N[0] movi #6 N[2,L]
+    N[1] movi #7 N[2,R]
+    N[2] mul N[3,L]
+    N[3] addi #1 W[0]
+    N[4] halt exit0
+""")
+        assert sim.regs[4] == 43
+
+    def test_read_forwards_register(self):
+        sim = run(""".reg R8 = 100
+.block main
+    R[0]  read R8 N[0,L]
+    W[8]  write R9
+    N[0]  addi #11 W[8]
+    N[1]  halt exit0
+""")
+        assert sim.regs[9] == 111
+
+    def test_wide_constant_synthesis(self):
+        # movi/movih chain builds 0x12345678.
+        sim = run(""".block main
+    W[0] write R4
+    N[0] movi #0x1234 N[1,L]
+    N[1] movih #0x5678 W[0]
+    N[2] halt exit0
+""")
+        assert sim.regs[4] == 0x12345678
+
+    def test_block_atomicity_reads_see_old_values(self):
+        # Both reads of R4 see the pre-block value even though the block
+        # also writes R4.
+        sim = run(""".reg R4 = 5
+.block main
+    R[0]  read R4 N[0,L] N[1,L]
+    W[8]  write R5
+    W[0]  write R4
+    N[0]  addi #1 W[0]
+    N[1]  addi #2 W[8]
+    N[2]  halt exit0
+""")
+        assert sim.regs[4] == 6
+        assert sim.regs[5] == 7
+
+
+class TestFig5aPredication:
+    """The paper's Figure 5a block, with an added base-address read.
+
+    teq(R4, 0) produces a predicate.  On false (R4 != 0) the predicated
+    path muli -> add base -> lw -> mov feeds the store's address and data;
+    on true the null instruction feeds both store operands, nullifying it.
+    The store fires either way, keeping the output count constant.
+    """
+
+    TEMPLATE = """.reg R4 = {r4}
+.data mem 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0
+.reg R8 = &mem
+.block fig5a
+    R[0]  read R4 N[1,L] N[2,L]
+    R[1]  read R8 N[4,L]
+    N[0]  movi #0 N[1,R]
+    N[1]  teq N[2,P] N[3,P]
+    N[2]  muli_f #4 N[4,R]
+    N[3]  null_t N[34,L] N[34,R]
+    N[4]  add N[32,L]
+    N[32] ld L[0] #0 N[33,L]
+    N[33] mov N[34,L] N[34,R]
+    N[34] sd L[1] #0
+    N[35] callo exit0 @func1
+.block func1
+    N[0]  bro exit0 @exit
+"""
+
+    def test_false_path_load_store(self):
+        # R4 = 2 (non-zero): teq -> 0, predicated-false path fires.
+        # Load address = &mem + 2*4 = mem[8..15] = 9; the loaded value (9)
+        # fans out to both the store's address and data, so mem[9] = 9.
+        sim = run(self.TEMPLATE.format(r4=2))
+        assert sim.memory.read(9, 8) == 9
+        assert sim.stats.nullified_outputs == 0
+        assert sim.stats.blocks == 2
+
+    def test_true_path_nullifies_store(self):
+        sim = run(self.TEMPLATE.format(r4=0))
+        # teq 0,0 -> 1: null fires, store is nullified: memory unchanged.
+        assert sim.memory.read(9, 8) == 0
+        assert sim.stats.nullified_outputs >= 1
+        # The block still completed (store LSID signalled) and branched.
+        assert sim.stats.blocks == 2
+
+    def test_exactly_one_path_fires(self):
+        taken = run(self.TEMPLATE.format(r4=0))    # true path: null
+        not_taken = run(self.TEMPLATE.format(r4=2))  # false path: 4 insts
+        # true path fires: movi teq null sd callo (+1 block for func1's bro)
+        # false path fires: movi teq muli add ld mov sd callo (+func1)
+        assert not_taken.stats.fired - taken.stats.fired == 3
+        assert taken.stats.loads == 0
+        assert not_taken.stats.loads == 1
+
+
+class TestControlFlow:
+    def test_loop_sums_to_ten(self):
+        # Single-block loop: R4 counts 4..1, R5 accumulates old R4.
+        sim = run(""".reg R4 = 4
+.block loop
+    R[0]  read R4 N[2,L] N[4,L]
+    R[8]  read R5 N[1,L]
+    W[0]  write R4
+    W[8]  write R5
+    N[2]  mov N[0,L] N[1,R]
+    N[0]  subi #1 W[0]
+    N[1]  add W[8]
+    N[4]  tgti #1 N[7,L]
+    N[7]  mov N[5,P] N[6,P]
+    N[5]  bro_t exit0 @loop
+    N[6]  bro_f exit1 @exit
+""")
+        assert bits_to_int(sim.regs[5]) == 4 + 3 + 2 + 1
+        assert sim.stats.blocks == 4
+        assert sim.stats.branches_by_exit == {0: 3, 1: 1}
+
+    def test_callo_link_value(self):
+        sim = run(""".block main
+    W[0] write R4
+    N[0] callo exit0 @callee W[0]
+.block callee
+    N[0] halt exit0
+""")
+        # link = address after main = entry + 256 (header + 1 chunk)
+        entry = 0x1000
+        assert sim.regs[4] == entry + 256
+
+    def test_ret_via_operand(self):
+        # main is header + 1 body chunk = 256 bytes, so "pad" sits at 0x1100.
+        sim = run(""".reg R4 = 0x1100
+.block main
+    R[0] read R4 N[0,L]
+    N[0] ret exit0
+.block pad
+    N[0] halt exit0
+""")
+        assert sim.stats.blocks == 2
+        assert sim.halted
+
+
+class TestMemoryOrdering:
+    def test_store_to_load_forwarding_in_block(self):
+        # Store LSID 0 then load LSID 1 from the same address.
+        sim = run(""".reg R8 = 0x3000
+.block main
+    R[0] read R8 N[0,L] N[2,L]
+    W[8] write R9
+    N[0] mov N[1,L]
+    N[1] sd L[0] #0
+    N[3] movi #77 N[1,R]
+    N[2] ld L[1] #0 W[8]
+    N[4] halt exit0
+""")
+        assert sim.regs[9] == 77
+
+    def test_narrow_store_load(self):
+        sim = run(""".reg R8 = 0x3000
+.block main
+    R[0] read R8 N[0,L] N[2,L]
+    W[8] write R9
+    N[0] mov N[1,L]
+    N[1] sb L[0] #0
+    N[3] movi #0x1FF N[1,R]
+    N[2] lb L[1] #0 W[8]
+    N[4] halt exit0
+""")
+        # sb stores 0xFF; lb sign-extends -> -1
+        assert bits_to_int(sim.regs[9]) == -1
+
+
+class TestErrors:
+    def test_missing_branch_deadlocks(self):
+        text = """.block main
+    W[0] write R4
+    N[0] movi #1 W[0]
+    N[1] halt exit0
+"""
+        # sabotage: replace the halt with an instruction that waits forever
+        bad = text.replace("halt exit0", "mov W[0]")
+        with pytest.raises(Exception):
+            run(bad)
+
+    def test_double_operand_delivery_rejected(self):
+        with pytest.raises(SimError, match="twice"):
+            run(""".block main
+    N[0] movi #1 N[2,L]
+    N[1] movi #2 N[2,L]
+    N[2] mov
+    N[3] halt exit0
+""")
+
+    def test_block_budget(self):
+        prog = assemble(""".block spin
+    N[0] bro exit0 @spin
+""")
+        sim = FunctionalSim(prog, max_blocks=10)
+        with pytest.raises(SimError, match="budget"):
+            sim.run()

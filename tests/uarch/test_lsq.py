@@ -1,0 +1,125 @@
+"""Unit and property tests for the LSQ and the dependence predictor."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.lsq import DependencePredictor, LoadStoreQueue
+
+
+class TestLsqBasics:
+    def test_forward_exact_match(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), 0x100, 8, 0xAABBCCDD)
+        got = lsq.forward((0, 1), 0x100, 8, b"\x00" * 8)
+        assert got == 0xAABBCCDD
+
+    def test_forward_respects_program_order(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), 0x100, 8, 1)
+        lsq.insert_store((0, 2), 0x100, 8, 2)    # younger store
+        # a load between them sees only the first
+        assert lsq.forward((0, 1), 0x100, 8, b"\x00" * 8) == 1
+        # a load after both sees the second
+        assert lsq.forward((1, 0), 0x100, 8, b"\x00" * 8) == 2
+
+    def test_partial_overlap_merges_bytes(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), 0x102, 2, 0xBEEF)
+        raw = (0x1111111111111111).to_bytes(8, "little")
+        got = lsq.forward((0, 1), 0x100, 8, raw)
+        assert got == 0x11111111BEEF1111
+
+    def test_nullified_store_is_transparent(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), None, 8, 0, nullified=True)
+        assert lsq.forward((0, 1), 0x100, 8, b"\x07" + b"\x00" * 7) == 7
+
+    def test_violation_detects_younger_executed_load(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_load((1, 3), 0x100, 8)        # younger load ran early
+        violators = lsq.insert_store((0, 5), 0x104, 4, 0xFF)
+        assert violators == [(1, 3)]
+
+    def test_no_violation_for_older_or_disjoint_loads(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_load((0, 1), 0x100, 8)        # older than the store
+        lsq.insert_load((2, 0), 0x200, 8)        # disjoint address
+        assert lsq.insert_store((1, 0), 0x100, 8, 1) == []
+
+    def test_commit_drains_in_lsid_order(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 5), 0x108, 8, 2)
+        lsq.insert_store((0, 1), 0x100, 8, 1)
+        lsq.insert_load((0, 3), 0x100, 8)
+        entries = lsq.commit_block(0)
+        assert [e.key for e in entries] == [(0, 1), (0, 5)]
+        assert lsq.occupancy() == 0
+
+    def test_flush_removes_only_named_blocks(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), 0x100, 8, 1)
+        lsq.insert_store((1, 0), 0x108, 8, 2)
+        lsq.flush_blocks({1})
+        assert (0, 0) in lsq.entries and (1, 0) not in lsq.entries
+
+    def test_duplicate_key_rejected(self):
+        lsq = LoadStoreQueue()
+        lsq.insert_store((0, 0), 0x100, 8, 1)
+        with pytest.raises(ValueError):
+            lsq.insert_store((0, 0), 0x100, 8, 1)
+
+
+class TestForwardingProperty:
+    """Byte-granular forwarding equals a naive byte-replay reference."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(0, 3),                       # block seq
+        st.integers(0, 31),                      # lsid
+        st.integers(0x100, 0x11F),               # address
+        st.sampled_from([1, 2, 4, 8]),           # size
+        st.integers(0, 2**64 - 1)),              # data
+        min_size=1, max_size=12,
+        unique_by=lambda t: (t[0], t[1])),
+        st.tuples(st.integers(0, 4), st.integers(0, 31),
+                  st.integers(0x100, 0x118), st.sampled_from([1, 2, 4, 8])))
+    def test_matches_byte_replay(self, stores, load):
+        lsq = LoadStoreQueue()
+        for seq, lsid, addr, size, data in stores:
+            lsq.insert_store((seq, lsid), addr, size, data)
+        lseq, llsid, laddr, lsize = load
+        base = bytes((i * 37) % 256 for i in range(lsize))
+        got = lsq.forward((lseq, llsid), laddr, lsize, base)
+
+        # reference: replay older stores byte by byte in program order
+        mem = {laddr + i: base[i] for i in range(lsize)}
+        for seq, lsid, addr, size, data in sorted(stores):
+            if (seq, lsid) >= (lseq, llsid):
+                continue
+            payload = (data & ((1 << (8 * size)) - 1)).to_bytes(size,
+                                                                "little")
+            for i in range(size):
+                if addr + i in mem:
+                    mem[addr + i] = payload[i]
+        expect = int.from_bytes(
+            bytes(mem[laddr + i] for i in range(lsize)), "little")
+        assert got == expect
+
+
+class TestDependencePredictor:
+    def test_learns_and_clears(self):
+        pred = DependencePredictor(bits=64, clear_interval=3)
+        assert not pred.predict_dependent(0x100)
+        pred.record_violation(0x100)
+        assert pred.predict_dependent(0x100)
+        # aliasing: addresses sharing the hash bit also defer
+        assert pred.predict_dependent(0x100 + 64 * 8)
+        for _ in range(3):
+            pred.on_block_commit()
+        assert not pred.predict_dependent(0x100)
+        assert pred.clears == 1
+
+    def test_disabled_never_predicts(self):
+        pred = DependencePredictor(enabled=False)
+        pred.record_violation(0x100)
+        assert not pred.predict_dependent(0x100)

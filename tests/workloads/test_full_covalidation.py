@@ -1,0 +1,26 @@
+"""Slow tier: the full co-validation matrix on the cycle-level simulator.
+
+Every workload, both compilation levels, must produce bit-identical
+architectural results on tsim-proc.  (The fast functional-simulator matrix
+runs in test_workloads.py; this is the expensive half.)
+"""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.tir import interpret
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", workload_names())
+@pytest.mark.parametrize("level", ["tcc", "hand"])
+def test_tsim_proc_covalidation(name, level):
+    prog = get_workload(name)
+    golden = interpret(prog).output_signature(prog.outputs)
+    compiled = compile_tir(prog, level=level)
+    proc = TripsProcessor(compiled.program)
+    stats = proc.run()
+    assert compiled.extract_outputs(proc.regs, proc.memory) == golden
+    assert stats.blocks_committed > 0
