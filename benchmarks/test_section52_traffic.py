@@ -8,17 +8,21 @@ operand-network bit volume, and peak LSQ occupancy.
 """
 
 from repro.harness import render_table
-from repro.harness.runner import run_trips_workload
+from repro.simlab import RunSpec, cache_from_env, run_specs, workers_from_env
+from repro.uarch.proc import ProcStats
 
 from .conftest import save
 
 
 def test_control_traffic_insignificant(benchmark, results_dir):
     def measure():
+        names = ("matrix", "conv", "tblook01")
+        specs = [RunSpec.trips(name, level="hand") for name in names]
+        results = run_specs(specs, workers=workers_from_env(),
+                            cache=cache_from_env())
         rows = []
-        for name in ("matrix", "conv", "tblook01"):
-            run = run_trips_workload(name, level="hand")
-            traffic = run.stats.network_traffic()
+        for name, result in zip(names, results):
+            traffic = ProcStats.from_dict(result["stats"]).network_traffic()
             control = sum(v for k, v in traffic.items()
                           if k not in ("OPN", "GDN"))
             rows.append({
@@ -41,11 +45,15 @@ def test_control_traffic_insignificant(benchmark, results_dir):
 
 def test_lsq_occupancy_claim(benchmark, results_dir):
     def measure():
+        names = ("vadd", "ct", "mgrid")
+        specs = [RunSpec.trips(
+            name, level="hand" if name != "mgrid" else "tcc")
+            for name in names]
+        results = run_specs(specs, workers=workers_from_env(),
+                            cache=cache_from_env())
         rows = []
-        for name in ("vadd", "ct", "mgrid"):
-            run = run_trips_workload(
-                name, level="hand" if name != "mgrid" else "tcc")
-            peak = max(dt.lsq.peak_occupancy for dt in run.proc.dts)
+        for name, result in zip(names, results):
+            peak = result["stats"]["lsq_peak"]
             rows.append({"Workload": name,
                          "Peak LSQ occupancy": peak,
                          "% of 256 entries": round(100 * peak / 256, 1)})

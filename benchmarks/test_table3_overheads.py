@@ -13,6 +13,7 @@ import pytest
 from repro.analysis import analyze_critical_path
 from repro.harness import render_table
 from repro.harness.runner import run_trips_workload
+from repro.simlab import RunSpec, cache_from_env, run_specs, workers_from_env
 from repro.workloads import workload_names
 from repro.workloads.registry import HAND_OPTIMIZED
 
@@ -23,13 +24,18 @@ CATEGORIES = ["IFetch", "OPN Hops", "OPN Cont.", "Fanout Ops",
 
 
 def _overhead_rows():
+    # traced runs submitted through simlab (parallel/cached when
+    # SIMLAB_WORKERS / SIMLAB_CACHE are set; identical results serially)
+    levels = ["hand" if name in HAND_OPTIMIZED else "tcc"
+              for name in workload_names()]
+    specs = [RunSpec.trips(name, level=level, trace=True)
+             for name, level in zip(workload_names(), levels)]
+    results = run_specs(specs, workers=workers_from_env(),
+                        cache=cache_from_env())
     rows = []
-    for name in workload_names():
-        level = "hand" if name in HAND_OPTIMIZED else "tcc"
-        run = run_trips_workload(name, level=level, trace=True)
-        report = analyze_critical_path(run.proc.trace)
+    for name, level, result in zip(workload_names(), levels, results):
         row = {"Benchmark": name, "Level": level}
-        row.update({k: round(v, 2) for k, v in report.row().items()})
+        row.update({k: round(v, 2) for k, v in result["critpath"].items()})
         rows.append(row)
     return rows
 

@@ -11,7 +11,8 @@ paper — see EXPERIMENTS.md for the measured-vs-paper discussion.
 import pytest
 
 from repro.harness import render_table
-from repro.harness.runner import compare_workload
+from repro.harness.runner import Comparison, compare_workload
+from repro.simlab import RunSpec, cache_from_env, run_specs, workers_from_env
 from repro.workloads import workload_names
 from repro.workloads.registry import HAND_OPTIMIZED
 
@@ -19,10 +20,16 @@ from .conftest import save
 
 
 def _performance_rows():
+    # one simlab job per benchmark; SIMLAB_WORKERS / SIMLAB_CACHE opt the
+    # sweep into parallelism and caching without changing its results
+    specs = [RunSpec.compare(name, hand=name in HAND_OPTIMIZED)
+             for name in workload_names()]
+    results = run_specs(specs, workers=workers_from_env(),
+                        cache=cache_from_env())
     rows = []
-    for name in workload_names():
+    for name, result in zip(workload_names(), results):
+        cmp = Comparison.from_dict(result)
         hand = name in HAND_OPTIMIZED
-        cmp = compare_workload(name, hand=hand)
         rows.append({
             "Benchmark": name,
             "Speedup TCC": round(cmp.speedup_tcc, 2),

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..serialize import dataclass_from_dict, dataclass_to_dict
 from ..uarch.caches import CacheBank
 from .srisc import DynInst, FunctionalResult, SriscProgram, run_functional
 
@@ -73,6 +74,14 @@ class BaselineStats:
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0
+
+    # -- JSON round trip (simlab cache records, harness --json) ---------
+    def to_dict(self) -> Dict[str, int]:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "BaselineStats":
+        return dataclass_from_dict(cls, data)
 
 
 class _Tournament:

@@ -18,12 +18,13 @@ data both programs address.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .isa import Program
 from .mem.backing import BackingStore
 from .mem.sysmem import SecondaryMemory, SysMemConfig
+from .serialize import dataclass_from_dict, dataclass_to_dict
 from .uarch.config import TripsConfig
 from .uarch.proc import ProcStats, TripsProcessor
 
@@ -35,9 +36,22 @@ class ChipError(RuntimeError):
 @dataclass
 class ChipStats:
     cycles: int = 0
-    per_core: List[ProcStats] = None
+    per_core: List[ProcStats] = field(default_factory=list)
     ocn_requests: int = 0
     dram_accesses: int = 0
+
+    # -- JSON round trip (simlab cache records, harness --json) ---------
+    def to_dict(self) -> Dict:
+        data = dataclass_to_dict(self)
+        data["per_core"] = [stats.to_dict() for stats in self.per_core]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ChipStats":
+        data = dict(data)
+        data["per_core"] = [ProcStats.from_dict(stats)
+                            for stats in data.get("per_core", [])]
+        return dataclass_from_dict(cls, data)
 
 
 class TripsChip:
@@ -101,8 +115,7 @@ class TripsChip:
                 core.poll_sysmem()
             self.cycle += 1
         for core in self.cores:
-            core.stats.cycles = core.cycle
-            core.stats.opn_messages = core.opn.stats.injected
+            core.finalize_stats()
         return ChipStats(
             cycles=self.cycle,
             per_core=[core.stats for core in self.cores],

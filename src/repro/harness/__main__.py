@@ -4,19 +4,27 @@ Usage::
 
     python -m repro.harness table1
     python -m repro.harness table2
-    python -m repro.harness table3 [workload ...]
+    python -m repro.harness table3 [workload ...] [--json] [--workers N]
+                                   [--cache DIR]
     python -m repro.harness floorplan
-    python -m repro.harness run <workload> [--level hand|tcc]
+    python -m repro.harness run <workload> [--level hand|tcc] [--json]
+
+``table3`` submits its per-benchmark jobs through :mod:`repro.simlab`;
+``--workers``/``--cache`` opt into parallel execution and result caching
+(see ``python -m repro.simlab`` for the full sweep engine).  ``--json``
+emits machine-consumable rows instead of the fixed-width table.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from ..analysis.floorplan import render_floorplan
+from ..simlab import ResultCache
 from ..workloads import workload_names
-from .runner import compare_workload, run_trips_workload
+from .runner import run_trips_workload
 from .tables import render_table, table1_rows, table2_rows, table3_rows
 
 
@@ -30,11 +38,19 @@ def main(argv=None) -> int:
     t3 = sub.add_parser("table3", help="Table 3: overheads + performance")
     t3.add_argument("workloads", nargs="*", default=None,
                     help="subset of benchmarks (default: all 21)")
+    t3.add_argument("--json", action="store_true",
+                    help="emit rows as JSON instead of a text table")
+    t3.add_argument("--workers", type=int, default=0, metavar="N",
+                    help="simlab worker processes (0 = serial, default)")
+    t3.add_argument("--cache", default=None, metavar="DIR",
+                    help="simlab result-cache directory (default: off)")
     sub.add_parser("floorplan", help="Figure 6: chip floorplan")
     sub.add_parser("list", help="list the benchmark suite")
     run_p = sub.add_parser("run", help="run one workload on tsim-proc")
     run_p.add_argument("workload")
     run_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the full stats record as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -44,8 +60,14 @@ def main(argv=None) -> int:
                            "Table 2: TRIPS Control and Data Networks"))
     elif args.command == "table3":
         names = args.workloads or None
-        print(render_table(table3_rows(names),
-                           "Table 3: overheads and performance"))
+        cache = ResultCache(args.cache) if args.cache else None
+        rows = table3_rows(names, workers=args.workers, cache=cache,
+                           log=lambda message: print(message,
+                                                     file=sys.stderr))
+        if args.json:
+            print(json.dumps(rows, indent=2))
+        else:
+            print(render_table(rows, "Table 3: overheads and performance"))
     elif args.command == "floorplan":
         print(render_floorplan())
     elif args.command == "list":
@@ -53,12 +75,18 @@ def main(argv=None) -> int:
             print(name)
     elif args.command == "run":
         run = run_trips_workload(args.workload, level=args.level)
-        print(f"{args.workload} @ {args.level}: {run.cycles} cycles, "
-              f"IPC {run.ipc:.2f}, "
-              f"{run.stats.blocks_committed} blocks committed, "
-              f"{run.stats.blocks_flushed} flushed "
-              f"({run.stats.flushes_mispredict} mispredict / "
-              f"{run.stats.flushes_violation} violation)")
+        if args.json:
+            print(json.dumps({"name": run.name, "level": run.level,
+                              "cycles": run.cycles,
+                              "ipc": round(run.ipc, 4),
+                              "stats": run.stats.to_dict()}, indent=2))
+        else:
+            print(f"{args.workload} @ {args.level}: {run.cycles} cycles, "
+                  f"IPC {run.ipc:.2f}, "
+                  f"{run.stats.blocks_committed} blocks committed, "
+                  f"{run.stats.blocks_flushed} flushed "
+                  f"({run.stats.flushes_mispredict} mispredict / "
+                  f"{run.stats.flushes_violation} violation)")
     return 0
 
 

@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from ..baseline.ooo import BaselineConfig, BaselineStats, OooCore
+from ..serialize import dataclass_from_dict, dataclass_to_dict
 from ..baseline.srisc import run_functional
 from ..compiler import CompiledProgram, compile_tir
 from ..compiler.srisc import compile_srisc
@@ -121,6 +122,14 @@ class Comparison:
     ipc_alpha: float
     ipc_tcc: float
     ipc_hand: Optional[float]
+
+    # -- JSON round trip (simlab cache records, harness --json) ---------
+    def to_dict(self) -> Dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Comparison":
+        return dataclass_from_dict(cls, data)
 
 
 def compare_workload(workload, config: Optional[TripsConfig] = None,

@@ -11,14 +11,15 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-from ..analysis import analyze_critical_path
 from ..analysis.area import AreaModel
+from ..baseline.ooo import BaselineStats
+from ..simlab import ResultCache, RunSpec, run_specs
 from ..uarch.config import TripsConfig
+from ..uarch.proc import ProcStats
 from ..workloads import workload_names
 from ..workloads.registry import HAND_OPTIMIZED
-from .runner import run_baseline_workload, run_trips_workload
 
 
 def table1_rows() -> List[Dict]:
@@ -29,9 +30,43 @@ def table2_rows() -> List[Dict]:
     return AreaModel.prototype().table2()
 
 
+def table3_specs(workloads: Optional[Sequence[str]] = None,
+                 config: Optional[TripsConfig] = None,
+                 include_performance: bool = True):
+    """The simlab job list behind Table 3.
+
+    Returns ``(specs, layout)`` where each layout entry is
+    ``(name, hand_available, trips_index, baseline_index, tcc_index)``
+    into the spec list (the last two are None when not needed).
+    """
+    names = list(workloads) if workloads is not None else workload_names()
+    specs: List[RunSpec] = []
+    layout = []
+    for name in names:
+        hand_available = name in HAND_OPTIMIZED
+        level = "hand" if hand_available else "tcc"
+        trips_index = len(specs)
+        specs.append(RunSpec.trips(name, level=level, config=config,
+                                   trace=True))
+        baseline_index = tcc_index = None
+        if include_performance:
+            baseline_index = len(specs)
+            specs.append(RunSpec.baseline(name))
+            if level != "tcc":
+                tcc_index = len(specs)
+                specs.append(RunSpec.trips(name, level="tcc",
+                                           config=config))
+        layout.append((name, hand_available, trips_index, baseline_index,
+                       tcc_index))
+    return specs, layout
+
+
 def table3_rows(workloads: Optional[Sequence[str]] = None,
                 config: Optional[TripsConfig] = None,
-                include_performance: bool = True) -> List[Dict]:
+                include_performance: bool = True,
+                workers: int = 0,
+                cache: Optional[ResultCache] = None,
+                log: Optional[Callable[[str], None]] = None) -> List[Dict]:
     """One Table 3 row per benchmark.
 
     Columns: the seven critical-path categories (percent, measured at the
@@ -39,27 +74,36 @@ def table3_rows(workloads: Optional[Sequence[str]] = None,
     the baseline and the three IPCs.  Hand-level numbers are omitted for
     the SPEC proxies, matching the paper's footnote that SPEC was never
     hand-optimized.
+
+    The per-benchmark jobs are submitted through simlab: ``workers=0``
+    (the default) runs them serially in-process exactly as before;
+    ``workers=N`` fans out across N processes, and a ``cache`` makes
+    repeated invocations pure cache hits — results are identical either
+    way.
     """
-    names = list(workloads) if workloads is not None else workload_names()
+    specs, layout = table3_specs(workloads, config, include_performance)
+    results = run_specs(specs, workers=workers, cache=cache, log=log)
     rows = []
-    for name in names:
-        hand_available = name in HAND_OPTIMIZED
-        level = "hand" if hand_available else "tcc"
-        run = run_trips_workload(name, level=level, config=config,
-                                 trace=True)
-        report = analyze_critical_path(run.proc.trace)
+    for name, hand_available, trips_index, baseline_index, tcc_index \
+            in layout:
+        main = results[trips_index]
+        main_stats = ProcStats.from_dict(main["stats"])
         row: Dict = {"Benchmark": name}
-        row.update({k: round(v, 2) for k, v in report.row().items()})
+        row.update({k: round(v, 2) for k, v in main["critpath"].items()})
         if include_performance:
-            alpha = run_baseline_workload(name)
-            tcc = run_trips_workload(name, level="tcc", config=config) \
-                if level != "tcc" else run
-            row["Speedup TCC"] = round(alpha.cycles / tcc.cycles, 2)
-            row["Speedup Hand"] = round(alpha.cycles / run.cycles, 2) \
+            alpha = BaselineStats.from_dict(
+                results[baseline_index]["stats"])
+            tcc_stats = ProcStats.from_dict(
+                results[tcc_index]["stats"]) if tcc_index is not None \
+                else main_stats
+            row["Speedup TCC"] = round(alpha.cycles / tcc_stats.cycles, 2)
+            row["Speedup Hand"] = \
+                round(alpha.cycles / main_stats.cycles, 2) \
                 if hand_available else None
             row["IPC Alpha"] = round(alpha.ipc, 2)
-            row["IPC TCC"] = round(tcc.ipc, 2)
-            row["IPC Hand"] = round(run.ipc, 2) if hand_available else None
+            row["IPC TCC"] = round(tcc_stats.ipc, 2)
+            row["IPC Hand"] = round(main_stats.ipc, 2) \
+                if hand_available else None
         rows.append(row)
     return rows
 

@@ -1,0 +1,131 @@
+"""simlab command line.
+
+Usage::
+
+    python -m repro.simlab sweep [workload ...] [--workers N] [--json]
+                                 [--no-cache] [--cache-dir DIR]
+                                 [--no-performance] [--quiet]
+    python -m repro.simlab status [--cache-dir DIR]
+    python -m repro.simlab clear  [--cache-dir DIR] [--stale]
+
+``sweep`` runs the full Table 3 experiment set (critical-path overheads
+plus TRIPS-vs-baseline performance) through the parallel executor with
+the content-addressed cache on by default: the first invocation
+simulates, every subsequent identical invocation is pure cache hits.
+``status`` inspects the cache; ``clear`` empties it (``--stale`` keeps
+records produced by the current source tree and drops the rest).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from ..harness.tables import render_table, table3_rows
+from ..workloads import workload_names
+from .cache import DEFAULT_CACHE_DIR, ResultCache
+from .spec import code_fingerprint
+
+
+def _add_cache_dir(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        metavar="DIR",
+                        help=f"cache directory (default: "
+                             f"{DEFAULT_CACHE_DIR})")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.simlab",
+        description="Parallel, cached experiment engine for the "
+                    "reproduction's sweeps.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sweep = sub.add_parser("sweep", help="run the Table 3 experiment set")
+    sweep.add_argument("workloads", nargs="*", default=None,
+                       help="subset of benchmarks (default: all 21)")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes (default: one per CPU; "
+                            "0 = serial in-process)")
+    sweep.add_argument("--json", action="store_true",
+                       help="emit rows as JSON instead of a text table")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="always re-simulate; do not touch the cache")
+    sweep.add_argument("--no-performance", action="store_true",
+                       help="critical-path overheads only (skip the "
+                            "baseline comparisons)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-job progress lines")
+    _add_cache_dir(sweep)
+
+    status = sub.add_parser("status", help="inspect the result cache")
+    _add_cache_dir(status)
+
+    clear = sub.add_parser("clear", help="delete cached results")
+    clear.add_argument("--stale", action="store_true",
+                       help="only drop records from older source trees")
+    _add_cache_dir(clear)
+
+    args = parser.parse_args(argv)
+    if args.command == "sweep":
+        return _sweep(args)
+    if args.command == "status":
+        return _status(args)
+    return _clear(args)
+
+
+def _sweep(args) -> int:
+    unknown = [name for name in (args.workloads or [])
+               if name not in workload_names()]
+    if unknown:
+        print(f"error: unknown workload(s) {', '.join(unknown)}; "
+              f"see 'python -m repro.harness list'", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    log = None if args.quiet else \
+        (lambda message: print(message, file=sys.stderr))
+    start = time.perf_counter()
+    rows = table3_rows(args.workloads or None,
+                       include_performance=not args.no_performance,
+                       workers=args.workers, cache=cache, log=log)
+    elapsed = time.perf_counter() - start
+    if args.json:
+        print(json.dumps(rows, indent=2))
+    else:
+        print(render_table(rows, "Table 3: overheads and performance"))
+    if cache is not None:
+        print(f"[simlab] {cache.hits + cache.misses} jobs: "
+              f"{cache.hits} hits, {cache.misses} misses in "
+              f"{elapsed:.1f}s (cache: {cache.root})", file=sys.stderr)
+    else:
+        print(f"[simlab] sweep finished in {elapsed:.1f}s (cache off)",
+              file=sys.stderr)
+    return 0
+
+
+def _status(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    summary = cache.summary()
+    current = code_fingerprint()
+    stale = sum(count for fp, count in summary["fingerprints"].items()
+                if fp != current)
+    print(f"cache dir:    {summary['dir']}")
+    print(f"entries:      {summary['entries']} "
+          f"({summary['bytes']} bytes)")
+    print(f"fingerprint:  {current} (current source tree)")
+    print(f"stale:        {stale} entries from other source versions")
+    return 0
+
+
+def _clear(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    removed = cache.clear(
+        stale_fingerprint=code_fingerprint() if args.stale else None)
+    print(f"removed {removed} cached result(s) from {cache.root}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""The simlab executor: fan RunSpecs out across worker processes.
+
+Scheduling contract (the part the paper-reproduction sweeps rely on):
+
+* **Deterministic results.** Every job is a pure function of its spec, so
+  ``run_specs(specs, workers=N)`` returns byte-identical results for any
+  ``N`` — results come back *in spec order* regardless of completion
+  order, and ``workers=0`` runs everything serially in-process (the
+  tier-1 default: no pools, no cache, exactly the old harness behaviour).
+* **Caching.** With a :class:`~repro.simlab.cache.ResultCache`, each spec
+  is looked up by content hash before simulating and persisted after, so
+  a repeated sweep is pure cache hits.
+* **Fault tolerance.** Each job gets one retry: a worker crash
+  (``BrokenProcessPool``), a per-job timeout, or an in-job exception
+  resubmits the job once; a second failure raises :class:`SimlabError`.
+  A timeout or crash replaces the whole pool (terminating any hung
+  worker) and resubmits the jobs that had not finished — their results
+  are unaffected, only their wall-clock is.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .cache import ResultCache
+from .spec import (
+    RunSpec,
+    baseline_config_from_dict,
+    trips_config_from_dict,
+)
+
+Logger = Callable[[str], None]
+
+
+class SimlabError(RuntimeError):
+    """A job failed twice, or a spec is malformed."""
+
+
+# ----------------------------------------------------------------------
+# Job execution (runs inside worker processes; must stay picklable-by-
+# reference, so everything here is module level).
+
+def execute_spec(spec: RunSpec) -> Dict[str, Any]:
+    """Run one job and return its JSON-serializable result dict."""
+    # Imported lazily: repro.harness imports repro.simlab for the sweep
+    # plumbing, so a module-level import here would be circular.
+    from ..harness.runner import (
+        compare_workload,
+        run_baseline_workload,
+        run_trips_workload,
+    )
+
+    if spec.kind == "trips":
+        run = run_trips_workload(spec.workload, level=spec.level,
+                                 config=trips_config_from_dict(spec.config),
+                                 trace=spec.trace)
+        result = {"kind": "trips", "name": run.name, "level": run.level,
+                  "stats": run.stats.to_dict()}
+        if spec.trace:
+            from ..analysis import analyze_critical_path
+            result["critpath"] = analyze_critical_path(run.proc.trace).row()
+        return result
+
+    if spec.kind == "baseline":
+        run = run_baseline_workload(
+            spec.workload, config=baseline_config_from_dict(spec.config))
+        return {"kind": "baseline", "name": run.name,
+                "stats": run.stats.to_dict()}
+
+    if spec.kind == "compare":
+        cmp = compare_workload(spec.workload,
+                               config=trips_config_from_dict(spec.config),
+                               hand=spec.hand)
+        return {"kind": "compare", **cmp.to_dict()}
+
+    if spec.kind == "selftest":
+        return _selftest(spec.workload)
+
+    raise SimlabError(f"unknown spec kind {spec.kind!r}")
+
+
+def _selftest(payload: str) -> Dict[str, Any]:
+    """Deterministic fault-injection probes for the executor's own tests.
+
+    ``mode[:arg]``: ``ok`` / ``echo:x`` succeed; ``fail-always`` raises;
+    ``fail-once:path`` raises (``crash-once:path`` kills the process,
+    ``hang-once:path`` sleeps forever) until the flag file exists.
+    """
+    mode, _, arg = payload.partition(":")
+    if mode == "ok":
+        return {"kind": "selftest", "ok": True}
+    if mode == "echo":
+        return {"kind": "selftest", "ok": True, "value": arg}
+    if mode == "fail-always":
+        raise RuntimeError("simlab selftest: deliberate persistent failure")
+    if mode in ("fail-once", "crash-once", "hang-once"):
+        flag = Path(arg)
+        if flag.exists():
+            return {"kind": "selftest", "ok": True, "retried": True}
+        flag.write_text("simlab selftest first attempt\n")
+        if mode == "crash-once":
+            os._exit(13)
+        if mode == "hang-once":
+            time.sleep(3600)
+        raise RuntimeError("simlab selftest: deliberate one-shot failure")
+    raise SimlabError(f"unknown selftest mode {mode!r}")
+
+
+def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Worker entry point: spec dict in, timed result envelope out."""
+    start = time.perf_counter()
+    result = execute_spec(RunSpec.from_dict(payload))
+    return {"result": result,
+            "elapsed_s": round(time.perf_counter() - start, 4)}
+
+
+# ----------------------------------------------------------------------
+def resolve_workers(workers: Optional[int]) -> int:
+    """None -> one worker per CPU; ints pass through (0 = serial)."""
+    if workers is None:
+        return os.cpu_count() or 1
+    return workers
+
+
+def run_specs(specs: Sequence[RunSpec], workers: int = 0,
+              cache: Optional[ResultCache] = None,
+              timeout: Optional[float] = None,
+              log: Optional[Logger] = None) -> List[Dict[str, Any]]:
+    """Run every spec, returning result dicts aligned with ``specs``.
+
+    ``workers=0`` executes serially in-process; ``workers=N`` fans out
+    over N processes; ``workers=None`` uses one per CPU.  ``timeout`` is
+    the per-job wait budget once collection reaches that job (parallel
+    mode only — a serial job runs to completion).
+    """
+    log = log or (lambda message: None)
+    workers = resolve_workers(workers)
+    total = len(specs)
+    results: List[Optional[Dict[str, Any]]] = [None] * total
+
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        record = cache.get(spec.key) if cache is not None else None
+        if record is not None:
+            results[i] = record["result"]
+            log(f"[simlab] {i + 1}/{total} hit   {spec.label}")
+        else:
+            pending.append(i)
+
+    if not pending:
+        return results
+    if workers <= 0:
+        _run_serial(specs, pending, results, cache, log, total)
+    else:
+        _run_parallel(specs, pending, results, workers, timeout, cache,
+                      log, total)
+    return results
+
+
+def _record(spec: RunSpec, envelope: Dict[str, Any],
+            results: List[Optional[Dict[str, Any]]], index: int,
+            cache: Optional[ResultCache], log: Logger, total: int) -> None:
+    results[index] = envelope["result"]
+    if cache is not None:
+        cache.put(spec.key, {"spec": spec.to_dict(),
+                             "result": envelope["result"],
+                             "elapsed_s": envelope["elapsed_s"],
+                             "created": time.time()})
+    log(f"[simlab] {index + 1}/{total} done  {spec.label} "
+        f"({envelope['elapsed_s']:.2f}s)")
+
+
+def _run_serial(specs: Sequence[RunSpec], pending: Sequence[int],
+                results: List[Optional[Dict[str, Any]]],
+                cache: Optional[ResultCache], log: Logger,
+                total: int) -> None:
+    for i in pending:
+        payload = specs[i].to_dict()
+        try:
+            envelope = _execute_payload(payload)
+        except Exception as first:
+            log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
+                f"({first!r})")
+            try:
+                envelope = _execute_payload(payload)
+            except Exception as second:
+                raise SimlabError(
+                    f"{specs[i].label}: failed after retry "
+                    f"({second!r})") from second
+        _record(specs[i], envelope, results, i, cache, log, total)
+
+
+def _replace_pool(pool: ProcessPoolExecutor,
+                  workers: int) -> ProcessPoolExecutor:
+    """Terminate a broken/hung pool and stand up a fresh one."""
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            process.terminate()
+        except OSError:
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+    return ProcessPoolExecutor(max_workers=workers)
+
+
+def _run_parallel(specs: Sequence[RunSpec], pending: List[int],
+                  results: List[Optional[Dict[str, Any]]], workers: int,
+                  timeout: Optional[float], cache: Optional[ResultCache],
+                  log: Logger, total: int) -> None:
+    payloads = {i: specs[i].to_dict() for i in pending}
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
+        futures = {i: pool.submit(_execute_payload, payloads[i])
+                   for i in pending}
+        retried = set()
+        position = 0
+        # Collect strictly in submission order: determinism costs nothing
+        # (every job must finish anyway) and keeps results aligned.
+        while position < len(pending):
+            i = pending[position]
+            try:
+                envelope = futures[i].result(timeout=timeout)
+            except (FutureTimeoutError, BrokenProcessPool) as exc:
+                # The pool itself is unusable (hung worker or crashed
+                # process): rebuild it and resubmit every unfinished job.
+                # Only the job being collected spends its retry; the
+                # others are victims and keep their budget.
+                if i in retried:
+                    raise SimlabError(f"{specs[i].label}: failed after "
+                                      f"retry ({exc!r})") from exc
+                retried.add(i)
+                log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
+                    f"({type(exc).__name__})")
+                pool = _replace_pool(pool, workers)
+                for j in pending[position:]:
+                    if j == i or not futures[j].done():
+                        futures[j] = pool.submit(_execute_payload,
+                                                 payloads[j])
+                continue
+            except Exception as exc:
+                if i in retried:
+                    raise SimlabError(f"{specs[i].label}: failed after "
+                                      f"retry ({exc!r})") from exc
+                retried.add(i)
+                log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
+                    f"({exc!r})")
+                futures[i] = pool.submit(_execute_payload, payloads[i])
+                continue
+            _record(specs[i], envelope, results, i, cache, log, total)
+            position += 1
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)

@@ -44,6 +44,7 @@ from ..isa import (
     TripsBlock,
 )
 from ..mem.backing import BackingStore
+from ..serialize import dataclass_from_dict, dataclass_to_dict
 from .caches import CacheBank
 from .config import PROTOTYPE, TripsConfig
 from .mesh import Packet, WormholeMesh
@@ -156,6 +157,14 @@ class ProcStats:
                   "GSN": self.gsn_messages, "GRN": self.grn_messages,
                   "DSN": self.dsn_messages, "OPN": self.opn_messages}
         return {net: counts[net] * bits[net] for net in bits}
+
+    # -- JSON round trip (simlab cache records, harness --json) ---------
+    def to_dict(self) -> Dict[str, int]:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "ProcStats":
+        return dataclass_from_dict(cls, data)
 
 
 # ----------------------------------------------------------------------
@@ -273,8 +282,16 @@ class TripsProcessor:
                     f"cycle budget {cfg.max_cycles} exhausted "
                     f"(pc window: {[hex(b.addr) for b in self.window]})")
             self.step()
+        return self.finalize_stats()
+
+    def finalize_stats(self) -> ProcStats:
+        """Fold end-of-run tile state into the stats record."""
         self.stats.cycles = self.cycle
         self.stats.opn_messages = self.opn.stats.injected
+        self.stats.lsq_peak = max(
+            (dt.lsq.peak_occupancy for dt in self.dts), default=0)
+        self.stats.deferred_loads = sum(dt.deferred_count
+                                        for dt in self.dts)
         return self.stats
 
     def step(self) -> None:

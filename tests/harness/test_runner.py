@@ -11,6 +11,7 @@ from repro.harness import (
     table2_rows,
     table3_rows,
 )
+from repro.harness import runner
 from repro.harness.runner import ValidationError
 from repro.tir import Assign, Const, TirProgram, V
 from repro.uarch.config import TripsConfig
@@ -43,6 +44,73 @@ class TestRunner:
         run = run_trips_workload("qr", level="hand", trace=True)
         assert run.proc.trace is not None
         assert len(run.proc.trace.blocks) > 0
+
+
+class TestValidationPaths:
+    """A deliberately-corrupted compiled program must fail co-validation.
+
+    Corruption model: shift every output array's extraction address by
+    one element after compilation.  The simulation itself is untouched —
+    only the architectural outputs the harness extracts diverge from the
+    interpreter's golden results, which is exactly the divergence the
+    validation discipline exists to catch.
+    """
+
+    @staticmethod
+    def _shift_addrs(compiled, tir):
+        compiled.array_addrs = {
+            name: addr + tir.arrays[name].elem_size
+            for name, addr in compiled.array_addrs.items()}
+        return compiled
+
+    def test_corrupted_trips_program_raises(self, monkeypatch):
+        real = runner.compile_tir
+
+        def corrupting(tir, level="tcc", **kwargs):
+            return self._shift_addrs(real(tir, level=level, **kwargs), tir)
+
+        monkeypatch.setattr(runner, "compile_tir", corrupting)
+        with pytest.raises(ValidationError, match="diverge from golden"):
+            run_trips_workload("vadd", level="hand")
+
+    def test_corrupted_trips_program_passes_unvalidated(self, monkeypatch):
+        real = runner.compile_tir
+
+        def corrupting(tir, level="tcc", **kwargs):
+            return self._shift_addrs(real(tir, level=level, **kwargs), tir)
+
+        monkeypatch.setattr(runner, "compile_tir", corrupting)
+        run = run_trips_workload("vadd", level="hand", validate=False)
+        assert run.cycles > 0
+
+    def test_corrupted_baseline_program_raises(self, monkeypatch):
+        real = runner.compile_srisc
+
+        def corrupting(tir):
+            program = real(tir)
+            program.array_addrs = {
+                name: addr + tir.arrays[name].elem_size
+                for name, addr in program.array_addrs.items()}
+            return program
+
+        monkeypatch.setattr(runner, "compile_srisc", corrupting)
+        with pytest.raises(ValidationError, match="diverge from golden"):
+            run_baseline_workload("vadd")
+
+    def test_corrupted_baseline_program_passes_unvalidated(
+            self, monkeypatch):
+        real = runner.compile_srisc
+
+        def corrupting(tir):
+            program = real(tir)
+            program.array_addrs = {
+                name: addr + tir.arrays[name].elem_size
+                for name, addr in program.array_addrs.items()}
+            return program
+
+        monkeypatch.setattr(runner, "compile_srisc", corrupting)
+        run = run_baseline_workload("vadd", validate=False)
+        assert run.cycles > 0
 
 
 class TestTables:

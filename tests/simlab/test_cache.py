@@ -1,0 +1,77 @@
+"""ResultCache: atomic JSON records, hit/miss accounting, maintenance."""
+
+import json
+
+from repro.simlab import ResultCache
+from repro.simlab.cache import SCHEMA
+
+
+def _record(fingerprint="fp00", value=1):
+    return {"spec": {"kind": "selftest", "workload": "ok",
+                     "fingerprint": fingerprint},
+            "result": {"value": value}, "elapsed_s": 0.0}
+
+
+class TestLookup:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", _record(value=42))
+        record = cache.get("k1")
+        assert record["result"]["value"] == 42
+        assert record["schema"] == SCHEMA
+        assert cache.hits == 1 and cache.misses == 0
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("nope") is None
+        assert cache.misses == 1
+
+    def test_corrupt_record_degrades_to_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", _record())
+        (tmp_path / "c" / "k1.json").write_text("{truncated")
+        assert cache.get("k1") is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        (tmp_path / "c").mkdir()
+        (tmp_path / "c" / "k1.json").write_text(
+            json.dumps({"schema": SCHEMA + 1, "result": {}}))
+        assert cache.get("k1") is None
+
+    def test_result_key_order_survives_the_round_trip(self, tmp_path):
+        # column order of cached table rows must match fresh ones
+        cache = ResultCache(tmp_path / "c")
+        result = {"zeta": 1, "alpha": 2, "mid": 3}
+        cache.put("k1", dict(_record(), result=result))
+        assert list(cache.get("k1")["result"]) == ["zeta", "alpha", "mid"]
+
+
+class TestMaintenance:
+    def test_clear_all(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", _record())
+        cache.put("k2", _record())
+        assert cache.clear() == 2
+        assert cache.get("k1") is None
+
+    def test_clear_stale_keeps_current_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("old", _record(fingerprint="old-code"))
+        cache.put("new", _record(fingerprint="current"))
+        assert cache.clear(stale_fingerprint="current") == 1
+        assert cache.get("new") is not None
+        assert cache.get("old") is None
+
+    def test_summary_census(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k1", _record(fingerprint="a"))
+        cache.put("k2", _record(fingerprint="b"))
+        summary = cache.summary()
+        assert summary["entries"] == 2
+        assert summary["bytes"] > 0
+        assert summary["fingerprints"] == {"a": 1, "b": 1}
+
+    def test_summary_of_missing_dir(self, tmp_path):
+        summary = ResultCache(tmp_path / "never-created").summary()
+        assert summary["entries"] == 0

@@ -1,0 +1,68 @@
+"""CLI smoke tests: sweep / status / clear, JSON mode, cache lifecycle."""
+
+import json
+
+from repro.simlab.__main__ import main
+
+
+def _sweep(capsys, *extra):
+    code = main(["sweep", "vadd", "--workers", "0", *extra])
+    assert code == 0
+    return capsys.readouterr()
+
+
+class TestSweep:
+    def test_sweep_renders_table_and_reports_misses(self, tmp_path,
+                                                    capsys):
+        out = _sweep(capsys, "--cache-dir", str(tmp_path / "c"))
+        assert "vadd" in out.out
+        assert "Speedup TCC" in out.out
+        assert "3 misses" in out.err        # trace run + baseline + tcc
+
+    def test_second_sweep_is_all_hits(self, tmp_path, capsys):
+        _sweep(capsys, "--cache-dir", str(tmp_path / "c"))
+        out = _sweep(capsys, "--cache-dir", str(tmp_path / "c"))
+        assert "3 hits, 0 misses" in out.err
+
+    def test_json_mode(self, tmp_path, capsys):
+        out = _sweep(capsys, "--cache-dir", str(tmp_path / "c"), "--json")
+        rows = json.loads(out.out)
+        assert rows[0]["Benchmark"] == "vadd"
+        assert "Speedup Hand" in rows[0]
+
+    def test_no_cache_mode(self, tmp_path, capsys):
+        out = _sweep(capsys, "--no-cache")
+        assert "cache off" in out.err
+        assert not (tmp_path / ".simlab-cache").exists()
+
+    def test_no_performance_mode(self, tmp_path, capsys):
+        out = _sweep(capsys, "--cache-dir", str(tmp_path / "c"),
+                     "--no-performance", "--quiet")
+        assert "Speedup TCC" not in out.out
+        assert "OPN Hops" in out.out
+
+
+class TestStatusAndClear:
+    def test_status_counts_entries(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        _sweep(capsys, "--cache-dir", cache_dir)
+        assert main(["status", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "entries:      3" in out
+        assert "stale:        0" in out
+
+    def test_clear_empties_the_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        _sweep(capsys, "--cache-dir", cache_dir)
+        assert main(["clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 3" in capsys.readouterr().out
+        assert main(["status", "--cache-dir", cache_dir]) == 0
+        assert "entries:      0" in capsys.readouterr().out
+
+    def test_clear_stale_keeps_current_results(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "c")
+        _sweep(capsys, "--cache-dir", cache_dir)
+        assert main(["clear", "--cache-dir", cache_dir, "--stale"]) == 0
+        assert "removed 0" in capsys.readouterr().out
+        out = _sweep(capsys, "--cache-dir", cache_dir)
+        assert "3 hits, 0 misses" in out.err

@@ -1,0 +1,88 @@
+"""RunSpec identity: stable content hashes, round trips, fingerprints."""
+
+import json
+
+from repro.simlab import RunSpec, code_fingerprint
+from repro.simlab.spec import trips_config_from_dict, trips_config_to_dict
+from repro.uarch.config import PredictorConfig, TripsConfig
+
+
+class TestKeyStability:
+    def test_identical_specs_share_a_key(self):
+        a = RunSpec.trips("vadd", level="hand")
+        b = RunSpec.trips("vadd", level="hand")
+        assert a.key == b.key
+
+    def test_key_is_deterministic_json(self):
+        spec = RunSpec.trips("vadd", level="hand", trace=True)
+        blob = json.dumps(spec.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        assert spec.key == RunSpec.from_dict(json.loads(blob)).key
+
+    def test_every_field_feeds_the_key(self):
+        base = RunSpec.trips("vadd", level="hand")
+        assert base.key != RunSpec.trips("sha", level="hand").key
+        assert base.key != RunSpec.trips("vadd", level="tcc").key
+        assert base.key != RunSpec.trips("vadd", level="hand",
+                                         trace=True).key
+        assert base.key != RunSpec.trips(
+            "vadd", level="hand",
+            config=TripsConfig(speculative_blocks=0)).key
+        assert base.key != RunSpec.baseline("vadd").key
+        assert base.key != RunSpec.compare("vadd").key
+
+    def test_code_fingerprint_feeds_the_key(self):
+        a = RunSpec.trips("vadd", fingerprint="aaaa")
+        b = RunSpec.trips("vadd", fingerprint="bbbb")
+        assert a.key != b.key
+
+    def test_nested_predictor_config_feeds_the_key(self):
+        a = RunSpec.trips("vadd", config=TripsConfig())
+        b = RunSpec.trips("vadd", config=TripsConfig(
+            predictor=PredictorConfig(kind="static")))
+        assert a.key != b.key
+
+    def test_compare_hand_flag_feeds_the_key(self):
+        assert RunSpec.compare("vadd", hand=True).key != \
+            RunSpec.compare("vadd", hand=False).key
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_identity(self):
+        spec = RunSpec.compare("conv", hand=True,
+                               config=TripsConfig(opn_links_per_hop=2))
+        clone = RunSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key == spec.key
+
+    def test_config_round_trip(self):
+        config = TripsConfig(speculative_blocks=3,
+                             predictor=PredictorConfig(kind="gshare"))
+        rebuilt = trips_config_from_dict(trips_config_to_dict(config))
+        assert rebuilt == config
+
+    def test_default_config_is_fully_resolved(self):
+        spec = RunSpec.trips("vadd")
+        # every TripsConfig field is captured, defaults included, so a
+        # changed default can never alias an old cache record
+        assert spec.config["speculative_blocks"] == 7
+        assert spec.config["predictor"]["kind"] == "tournament"
+
+
+class TestFingerprint:
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 16
+
+    def test_specs_pick_up_the_fingerprint(self):
+        assert RunSpec.trips("vadd").fingerprint == code_fingerprint()
+        assert RunSpec.baseline("vadd").fingerprint == code_fingerprint()
+
+
+class TestLabels:
+    def test_labels_are_human_readable(self):
+        assert RunSpec.trips("qr", level="hand",
+                             trace=True).label == "trips:qr@hand +trace"
+        assert RunSpec.baseline("qr").label == "baseline:qr"
+        assert "compare:mcf" in RunSpec.compare("mcf", hand=False).label
