@@ -66,7 +66,8 @@ class TripsChip:
             config = config.with_overrides(perfect_l2=False)
         self.memory = BackingStore()
         self.sysmem = SecondaryMemory(
-            SysMemConfig(mode=memory_mode, dram_cycles=config.dram_cycles),
+            SysMemConfig(mode=memory_mode, dram_cycles=config.dram_cycles,
+                         active_set=config.fast_path),
             backing=self.memory)
         self.max_cycles = max_cycles
 
@@ -103,6 +104,7 @@ class TripsChip:
     # ------------------------------------------------------------------
     def run(self) -> ChipStats:
         """Run both cores to completion."""
+        fast = all(core.config.fast_path for core in self.cores)
         while not all(core.halted for core in self.cores):
             if self.cycle >= self.max_cycles:
                 raise ChipError(f"chip cycle budget {self.max_cycles} "
@@ -114,6 +116,8 @@ class TripsChip:
             for core in self.cores:
                 core.poll_sysmem()
             self.cycle += 1
+            if fast:
+                self._try_fast_forward()
         for core in self.cores:
             core.finalize_stats()
         return ChipStats(
@@ -121,6 +125,44 @@ class TripsChip:
             per_core=[core.stats for core in self.cores],
             ocn_requests=self.sysmem.stats["requests"],
             dram_accesses=self.sysmem.stats["dram_accesses"])
+
+    def _try_fast_forward(self) -> None:
+        """Skip cycles in which provably no core and no OCN work occurs.
+
+        The chip may only jump when *every* live core is quiescent and
+        the shared memory system is drained; the target is the earliest
+        moment any of them can act (event heap, prediction latency, bank
+        or DRAM completion).  Cores and the OCN advance in lockstep, so
+        one assignment per clock domain suffices; halted cores keep their
+        final cycle count, exactly as under per-cycle stepping.
+        """
+        if all(core.halted for core in self.cores):
+            return      # the run loop is about to exit; nothing to skip
+        t = self.cycle
+        times = []
+        for core in self.cores:
+            if core.halted:
+                continue
+            work = core.next_work_t()
+            if work is not None:
+                if work <= t:
+                    return
+                times.append(work)
+        mem = self.sysmem.next_work_t()
+        if mem is not None:
+            if mem <= t:
+                return
+            times.append(mem)
+        target = min(min(times) if times else self.max_cycles,
+                     self.max_cycles)
+        if target <= t:
+            return
+        for core in self.cores:
+            if not core.halted:
+                core.cycle = target
+                core.opn.cycle_count = target
+        self.sysmem.fast_forward(target)
+        self.cycle = target
 
     def dma_copy(self, src: int, dst: int, nbytes: int) -> int:
         """Programmed DMA between physical regions (an OCN client)."""

@@ -152,49 +152,30 @@ class Opcode(enum.Enum):
     RET = OpInfo("ret", Format.B, OpClass.BRANCH, 1, 1)    # target = operand
     HALT = OpInfo("halt", Format.B, OpClass.BRANCH, 1, 0)  # stop simulation
 
-    @property
-    def info(self) -> OpInfo:
-        return self.value
+    # Static properties (info, mnemonic, opclass, latency, num_operands,
+    # is_load/is_store/is_memory/is_branch, uses_fpu, format) are attached
+    # as plain member attributes below: Enum's ``.value`` goes through a
+    # DynamicClassAttribute descriptor on every access, which shows up in
+    # the simulator's station-wakeup and issue loops.
 
-    @property
-    def mnemonic(self) -> str:
-        return self.value.mnemonic
 
-    @property
-    def format(self) -> Format:
-        return self.value.format
-
-    @property
-    def opclass(self) -> OpClass:
-        return self.value.opclass
-
-    @property
-    def latency(self) -> int:
-        return self.value.latency
-
-    @property
-    def num_operands(self) -> int:
-        return self.value.num_operands
-
-    @property
-    def is_load(self) -> bool:
-        return self.value.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.value.opclass is OpClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_branch(self) -> bool:
-        return self.value.opclass is OpClass.BRANCH
-
-    @property
-    def uses_fpu(self) -> bool:
-        return self.value.opclass is OpClass.FP
+# Flatten each member's OpInfo onto the member itself.  ``Opcode.ADD.latency``
+# is then a single instance-dict lookup instead of two descriptor calls.
+for _op in Opcode:
+    _info = _op.value
+    _op.info = _info
+    _op.mnemonic = _info.mnemonic
+    _op.format = _info.format
+    _op.opclass = _info.opclass
+    _op.latency = _info.latency
+    _op.num_operands = _info.num_operands
+    _op.pipelined = _info.pipelined
+    _op.is_load = _info.opclass is OpClass.LOAD
+    _op.is_store = _info.opclass is OpClass.STORE
+    _op.is_memory = _op.is_load or _op.is_store
+    _op.is_branch = _info.opclass is OpClass.BRANCH
+    _op.uses_fpu = _info.opclass is OpClass.FP
+del _op, _info
 
 
 #: opcode -> 7-bit binary encoding, by declaration order.

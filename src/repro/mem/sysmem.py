@@ -40,6 +40,9 @@ class SysMemConfig:
     dram_cycles: int = 80
     mt: MtConfig = field(default_factory=MtConfig)
     vcs: int = 4
+    #: False selects the full-scan OCN router loop (escape hatch, mirrors
+    #: :attr:`repro.uarch.config.TripsConfig.fast_path`)
+    active_set: bool = True
 
 
 @dataclass
@@ -66,7 +69,8 @@ class SecondaryMemory:
         self.config = config or SysMemConfig()
         self.backing = backing if backing is not None else BackingStore()
         self.ocn = WormholeMesh(ROWS, COLS, vcs=self.config.vcs,
-                                queue_depth=2)
+                                queue_depth=2,
+                                active_set=self.config.active_set)
         # 16 MTs in the two middle columns
         self.mt_coords = [(r, c) for c in (1, 2) for r in range(8)]
         self.mts = [MemoryTile(i, self.config.mt) for i in range(16)]
@@ -135,6 +139,29 @@ class SecondaryMemory:
             self._responses[port] = []
         return out
 
+    def next_work_t(self) -> Optional[int]:
+        """Earliest cycle >= ``self.cycle`` with memory-system activity.
+
+        ``self.cycle`` while any packet is parked, in the OCN, or a
+        response awaits pickup; the earliest bank/DRAM completion when
+        requests are only waiting on latency; None when fully drained.
+        Lets a quiescent processor fast-forward straight to the next
+        fill completion instead of stepping an empty OCN.
+        """
+        if self._parked or not self.ocn.is_idle():
+            return self.cycle
+        for responses in self._responses.values():
+            if responses:
+                return self.cycle
+        if self._pending_dram:
+            return min(done_at for done_at, _, _ in self._pending_dram)
+        return None
+
+    def fast_forward(self, cycle: int) -> None:
+        """Advance the clock over a provably-idle stretch (no stepping)."""
+        self.cycle = cycle
+        self.ocn.cycle_count = cycle
+
     # ------------------------------------------------------------------
     def _inject_retry(self, src, packet) -> None:
         if not self.ocn.inject(src, packet):
@@ -156,25 +183,34 @@ class SecondaryMemory:
                 still.append((done_at, req, mt_index))
         self._pending_dram = still
 
-        # deliveries at MTs
-        for mt_index, coord in enumerate(self.mt_coords):
-            for packet in self.ocn.take_delivered(coord):
-                kind, req, idx = packet.payload
-                mt = self.mts[idx]
-                ready, needs_dram = mt.access(req.address, self.cycle)
-                if needs_dram:
-                    done = ready + self.config.dram_cycles
-                    mt.note_refill(done)
-                    self.stats["dram_accesses"] += 1
-                    self._pending_dram.append((done, req, idx))
-                else:
-                    self._pending_dram.append((ready, req, idx))
-
-        # deliveries back at processor/I/O ports
-        for port, coord in enumerate(self.PROC_PORTS):
-            for packet in self.ocn.take_delivered(coord):
-                kind, req, _ = packet.payload
-                self._responses.setdefault(req.port, []).append(req.meta)
+        # deliveries at MTs and back at the processor/I/O ports (the
+        # pending-set check skips 24 per-coordinate scans on quiet cycles)
+        # fast engine: visit only coordinates with packets waiting; the
+        # escape hatch keeps the original engine's unconditional scan
+        pending = self.ocn.delivery_pending if self.config.active_set \
+            else None
+        if pending is None or pending:
+            take = self.ocn.take_delivered
+            for coord in self.mt_coords:
+                if pending is not None and coord not in pending:
+                    continue
+                for packet in take(coord):
+                    kind, req, idx = packet.payload
+                    mt = self.mts[idx]
+                    ready, needs_dram = mt.access(req.address, self.cycle)
+                    if needs_dram:
+                        done = ready + self.config.dram_cycles
+                        mt.note_refill(done)
+                        self.stats["dram_accesses"] += 1
+                        self._pending_dram.append((done, req, idx))
+                    else:
+                        self._pending_dram.append((ready, req, idx))
+            for coord in self.PROC_PORTS:
+                if pending is not None and coord not in pending:
+                    continue
+                for packet in take(coord):
+                    kind, req, _ = packet.payload
+                    self._responses.setdefault(req.port, []).append(req.meta)
         self.ocn.step()
         self.cycle += 1
 

@@ -83,6 +83,13 @@ class TripsConfig:
 
     # --- simulation --------------------------------------------------------------
     max_cycles: int = 30_000_000
+    #: fast-path cycle engine: when the OPN is empty, every tile reports
+    #: quiescent and no timed event is due, :meth:`TripsProcessor.run`
+    #: advances the cycle counter directly to the next scheduled work
+    #: instead of spinning one no-op cycle at a time.  Cycle-for-cycle
+    #: identical stats either way (tests/uarch/test_fast_path.py); False
+    #: is the escape hatch that forces the original step-every-cycle loop.
+    fast_path: bool = True
 
     def with_overrides(self, **kwargs) -> "TripsConfig":
         """A copy with some fields replaced (ablation helper)."""

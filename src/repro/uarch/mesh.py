@@ -14,18 +14,29 @@ between traffic classes the way VCs do.
 Every packet records its injection time, hop count and queueing delay so
 the critical-path analyzer can split operand latency into the paper's
 "OPN hops" and "OPN contention" categories.
+
+Fast path: ``step()`` only visits *active* routers — those with at least
+one occupied input queue — instead of scanning the whole grid, and all
+routing decisions come from tables precomputed at construction time
+(``(node, dest) -> out port`` and ``(node, out port) -> (neighbor, entry
+port)``).  The arbitration, timing and delivery order are cycle-for-cycle
+identical to a full scan: routers are visited in row-major coordinate
+order, which is exactly the order the full scan used, and quiescent
+routers contribute nothing to a scan by construction.
+``tests/uarch/test_mesh_reference.py`` checks this against a full-scan
+reference model under randomized traffic.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 Coord = Tuple[int, int]   # (row, col)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network packet (an operand, a control message, a cache line)."""
 
@@ -38,6 +49,7 @@ class Packet:
     injected: int = -1       # cycle accepted into the source router
     delivered: int = -1      # cycle ejected at the destination
     hops: int = 0
+    qcycles: int = -1        # contention cycles, filled in at delivery
 
     @property
     def min_latency(self) -> int:
@@ -46,6 +58,8 @@ class Packet:
     @property
     def queue_cycles(self) -> int:
         """Cycles lost to contention (beyond pure hop latency)."""
+        if self.qcycles >= 0:
+            return self.qcycles
         if self.delivered < 0 or self.injected < 0:
             return 0
         return max(0, (self.delivered - self.injected) - self.min_latency)
@@ -70,6 +84,8 @@ class _Port:
 # port indices
 _LOCAL, _NORTH, _SOUTH, _EAST, _WEST = range(5)
 _NUM_PORTS = 5
+#: input port of the neighbour that a move through each output port fills
+_ENTRY = {_NORTH: _SOUTH, _SOUTH: _NORTH, _EAST: _WEST, _WEST: _EAST}
 
 
 @dataclass
@@ -87,7 +103,7 @@ class WormholeMesh:
 
     def __init__(self, rows: int, cols: int, vcs: int = 1,
                  queue_depth: int = 2, lanes: int = 1,
-                 route_order: str = "row_first"):
+                 route_order: str = "row_first", active_set: bool = True):
         if route_order not in ("row_first", "col_first"):
             raise ValueError(f"bad route order {route_order!r}")
         self.rows = rows
@@ -95,16 +111,46 @@ class WormholeMesh:
         self.vcs = vcs
         self.lanes = lanes
         self.route_order = route_order
+        #: False = the escape-hatch engine: scan every router every cycle
+        #: (the original algorithm), for timing cross-validation
+        self.active_set = active_set
         self.cycle_count = 0
+        coords = [(r, c) for r in range(rows) for c in range(cols)]
+        self._coords = coords
         # ports[node][port] -> _Port
         self.ports: Dict[Coord, List[_Port]] = {
-            (r, c): [_Port(vcs, queue_depth) for _ in range(_NUM_PORTS)]
-            for r in range(rows) for c in range(cols)}
-        # output serialization: (node, out_port) -> busy-until cycle, per lane
-        self._busy: Dict[Tuple[Coord, int], List[int]] = {}
-        self._rr: Dict[Tuple[Coord, int], int] = {}
+            node: [_Port(vcs, queue_depth) for _ in range(_NUM_PORTS)]
+            for node in coords}
+        # precomputed (node, dest) -> out port and
+        # (node, out port) -> (neighbor, its entry port)
+        self._route: Dict[Coord, Dict[Coord, int]] = {}
+        self._hop: Dict[Coord, List[Optional[Tuple[Coord, int]]]] = {}
+        for node in coords:
+            self._route[node] = {dest: self._next_hop(node, dest)
+                                 for dest in coords}
+            hops: List[Optional[Tuple[Coord, int]]] = [None] * _NUM_PORTS
+            for out in (_NORTH, _SOUTH, _EAST, _WEST):
+                neighbor = self._neighbor(node, out)
+                if 0 <= neighbor[0] < rows and 0 <= neighbor[1] < cols:
+                    hops[out] = (neighbor, _ENTRY[out])
+            self._hop[node] = hops
+        # output serialization: per node, per out port, busy-until per lane
+        self._busy: Dict[Coord, List[List[int]]] = {
+            node: [[0] * lanes for _ in range(_NUM_PORTS)] for node in coords}
+        self._rr: Dict[Coord, List[int]] = {
+            node: [0] * _NUM_PORTS for node in coords}
         self._delivery: Dict[Coord, List[Packet]] = {
-            (r, c): [] for r in range(rows) for c in range(cols)}
+            node: [] for node in coords}
+        #: single-VC single-lane meshes (the OPN) take a specialized
+        #: arbitration loop on the fast path
+        self._simple = vcs == 1 and lanes == 1
+        self._depth = queue_depth
+        #: nodes holding at least one queued packet (the active set) and
+        #: their total queued-packet counts
+        self._active: Set[Coord] = set()
+        self._occupancy: Dict[Coord, int] = {node: 0 for node in coords}
+        #: nodes with packets awaiting :meth:`take_delivered`
+        self.delivery_pending: Set[Coord] = set()
         self.stats = MeshStats()
 
     # ------------------------------------------------------------------
@@ -117,7 +163,9 @@ class WormholeMesh:
         packet.injected = self.cycle_count
         if packet.created < 0:
             packet.created = self.cycle_count
-        port.push(packet)
+        port.queues[packet.vc].append(packet)
+        self._occupancy[node] += 1
+        self._active.add(node)
         self.stats.injected += 1
         return True
 
@@ -126,7 +174,18 @@ class WormholeMesh:
         out = self._delivery[node]
         if out:
             self._delivery[node] = []
+            self.delivery_pending.discard(node)
         return out
+
+    def is_idle(self) -> bool:
+        """True when no packet is queued or awaiting pickup anywhere.
+
+        An idle mesh's ``step()`` is a pure cycle-count increment, which is
+        what lets the processor fast-forward over quiescent stretches
+        (busy output lanes only ever gate *queued* packets, so they carry
+        no future effect once the mesh drains).
+        """
+        return not self._active and not self.delivery_pending
 
     # ------------------------------------------------------------------
     def _next_hop(self, at: Coord, dest: Coord) -> int:
@@ -152,62 +211,163 @@ class WormholeMesh:
     @staticmethod
     def _entry_port(out_port: int) -> int:
         """Which input port of the neighbour a move through ``out_port`` fills."""
-        return {_NORTH: _SOUTH, _SOUTH: _NORTH,
-                _EAST: _WEST, _WEST: _EAST}[out_port]
+        return _ENTRY[out_port]
 
     # ------------------------------------------------------------------
     def step(self) -> None:
-        """Advance the network one cycle."""
+        """Advance the network one cycle (active routers only)."""
         now = self.cycle_count
-        moves: List[Tuple[Deque[Packet], Packet, Coord, int]] = []
-        granted_queues = set()
-        for node, ports in self.ports.items():
+        active = self._active
+        if self.active_set:
+            if not active:
+                self.cycle_count = now + 1
+                return
+            # row-major visit order == the full scan's order (a one-node
+            # set needs no sort)
+            nodes = tuple(active) if len(active) == 1 else sorted(active)
+        else:
+            nodes = self._coords
+        ports = self.ports
+        routes = self._route
+        busy_map = self._busy
+        rr_map = self._rr
+        hop_map = self._hop
+        stats = self.stats
+        occupancy = self._occupancy
+        moves: List[Tuple[Coord, Deque[Packet], Packet, Coord, int]] = []
+        append_move = moves.append
+        granted_queues: Set[int] = set()
+        use_single = self.active_set
+        use_simple = use_single and self._simple
+        depth = self._depth
+        for node in nodes:
+            route = routes[node]
+            if use_simple and occupancy[node] > 1:
+                # Single-VC, single-lane router (the OPN): each queue
+                # requests exactly one out port and each out port has one
+                # lane, so no queue can be granted twice — the
+                # granted_queues bookkeeping and the lane loop of the
+                # general arbiter below provably never fire.
+                requests_s: Dict[int, List[Deque[Packet]]] = {}
+                for port in ports[node]:
+                    queue = port.queues[0]
+                    if queue:
+                        out = route[queue[0].dest]
+                        bucket = requests_s.get(out)
+                        if bucket is None:
+                            requests_s[out] = [queue]
+                        else:
+                            bucket.append(queue)
+                node_busy = busy_map[node]
+                node_rr = rr_map[node]
+                node_hop = hop_map[node]
+                for out, queues in requests_s.items():
+                    busy = node_busy[out]
+                    if busy[0] > now:
+                        continue
+                    start = node_rr[out]
+                    nq = len(queues)
+                    for k in range(nq):
+                        queue = queues[(start + k) % nq]
+                        packet = queue[0]
+                        if out == _LOCAL:
+                            append_move((node, queue, packet, node, -1))
+                        else:
+                            neighbor, entry = node_hop[out]
+                            if neighbor != packet.dest and \
+                                    len(ports[neighbor][entry].queues[0]) \
+                                    >= depth:
+                                continue
+                            append_move((node, queue, packet, neighbor,
+                                         entry))
+                        busy[0] = now + packet.flits
+                        stats.link_busy_cycles += packet.flits
+                        node_rr[out] = (start + k + 1) % nq
+                        break
+                continue
+            if use_single and occupancy[node] == 1:
+                # Lone packet at this router: the arbitration below reduces
+                # to "grant the head packet the first free lane of its out
+                # port, unless the downstream FIFO is full" — same result,
+                # no request-dict construction.
+                for port in ports[node]:
+                    for queue in port.queues:
+                        if queue:
+                            break
+                    else:
+                        continue
+                    break
+                packet = queue[0]
+                out = route[packet.dest]
+                lanes = busy_map[node][out]
+                for lane_idx, busy_until in enumerate(lanes):
+                    if busy_until > now:
+                        continue
+                    if out == _LOCAL:
+                        append_move((node, queue, packet, node, -1))
+                    else:
+                        neighbor, entry = hop_map[node][out]
+                        if neighbor != packet.dest and \
+                                not ports[neighbor][entry].has_space(
+                                    packet.vc):
+                            break       # blocked on every lane alike
+                        append_move((node, queue, packet, neighbor, entry))
+                    lanes[lane_idx] = now + packet.flits
+                    stats.link_busy_cycles += packet.flits
+                    rr_map[node][out] = 0   # == (rr + 1) % 1
+                    break
+                continue
             # Gather head packets per output request.
             requests: Dict[int, List[Deque[Packet]]] = {}
-            for port in ports:
+            for port in ports[node]:
                 for queue in port.queues:
-                    if not queue:
-                        continue
-                    out = self._next_hop(node, queue[0].dest)
-                    requests.setdefault(out, []).append(queue)
+                    if queue:
+                        out = route[queue[0].dest]
+                        bucket = requests.get(out)
+                        if bucket is None:
+                            requests[out] = [queue]
+                        else:
+                            bucket.append(queue)
+            node_busy = busy_map[node]
+            node_rr = rr_map[node]
+            node_hop = hop_map[node]
             for out, queues in requests.items():
-                lanes = self._busy.setdefault((node, out), [0] * self.lanes)
-                rr_key = (node, out)
-                start = self._rr.get(rr_key, 0)
+                lanes = node_busy[out]
+                start = node_rr[out]
+                nq = len(queues)
                 granted = 0
                 for lane_idx, busy_until in enumerate(lanes):
-                    if busy_until > now or granted >= len(queues):
+                    if busy_until > now or granted >= nq:
                         continue
                     # round-robin over requesting queues
-                    for k in range(len(queues)):
-                        queue = queues[(start + k) % len(queues)]
+                    for k in range(nq):
+                        queue = queues[(start + k) % nq]
                         if not queue or id(queue) in granted_queues:
                             continue
                         packet = queue[0]
-                        if self._next_hop(node, packet.dest) != out:
-                            continue  # pragma: no cover - defensive
                         if out == _LOCAL:
-                            moves.append((queue, packet, node, -1))
+                            append_move((node, queue, packet, node, -1))
                         else:
-                            neighbor = self._neighbor(node, out)
-                            entry = self._entry_port(out)
+                            neighbor, entry = node_hop[out]
                             if neighbor != packet.dest and \
-                                    not self.ports[neighbor][entry].has_space(
+                                    not ports[neighbor][entry].has_space(
                                         packet.vc):
                                 continue
-                            moves.append((queue, packet, neighbor, entry))
+                            append_move((node, queue, packet, neighbor,
+                                         entry))
                         lanes[lane_idx] = now + packet.flits
-                        self.stats.link_busy_cycles += packet.flits
-                        self._rr[rr_key] = (start + k + 1) % len(queues)
+                        stats.link_busy_cycles += packet.flits
+                        node_rr[out] = (start + k + 1) % nq
                         granted_queues.add(id(queue))
                         granted += 1
                         break
-        seen = set()
-        for queue, packet, target, entry in moves:
-            if id(packet) in seen:  # pragma: no cover - defensive
-                continue
-            seen.add(id(packet))
+        delivery = self._delivery
+        delivery_pending = self.delivery_pending
+        for node, queue, packet, target, entry in moves:
             queue.popleft()
+            occupancy[node] -= 1
+            if not occupancy[node]:
+                active.discard(node)
             if entry >= 0:
                 packet.hops += 1
             if entry < 0 or target == packet.dest:
@@ -216,10 +376,18 @@ class WormholeMesh:
                 # cycle ahead (Section 3) already did wakeup, so ejection
                 # adds no extra cycle.
                 packet.delivered = now + 1
-                self._delivery[target].append(packet)
-                self.stats.delivered += 1
-                self.stats.total_hops += packet.hops
-                self.stats.total_queue_cycles += packet.queue_cycles
+                src = packet.src
+                dest = packet.dest
+                qc = (now + 1 - packet.injected) \
+                    - abs(src[0] - dest[0]) - abs(src[1] - dest[1])
+                packet.qcycles = qc if qc > 0 else 0
+                delivery[target].append(packet)
+                delivery_pending.add(target)
+                stats.delivered += 1
+                stats.total_hops += packet.hops
+                stats.total_queue_cycles += packet.qcycles
             else:
-                self.ports[target][entry].push(packet)
-        self.cycle_count += 1
+                ports[target][entry].queues[packet.vc].append(packet)
+                occupancy[target] += 1
+                active.add(target)
+        self.cycle_count = now + 1

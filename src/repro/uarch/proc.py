@@ -33,6 +33,7 @@ Protocol timeline per block (Sections 4.1-4.4):
 from __future__ import annotations
 
 import heapq
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -85,6 +86,21 @@ class DecodedBlock:
                            + [s + 1 for s in block.writes] + [0])
         fullest = max([header_words] + [len(r) for r in self.rows])
         self.dispatch_cycles = max(2, -(-fullest // 4))
+
+
+#: id(Program) -> {addr -> DecodedBlock}; evicted when the Program dies
+_DECODE_CACHE: Dict[int, Dict[int, "DecodedBlock"]] = {}
+
+
+def _decode_cache_for(program) -> Dict[int, "DecodedBlock"]:
+    key = id(program)
+    cache = _DECODE_CACHE.get(key)
+    if cache is None:
+        cache = _DECODE_CACHE[key] = {}
+        # the finalizer fires before the id can be reused, so stale
+        # entries can never alias a new Program
+        weakref.finalize(program, _DECODE_CACHE.pop, key, None)
+    return cache
 
 
 @dataclass
@@ -190,8 +206,10 @@ class TripsProcessor:
         for reg, value in program.initial_regs.items():
             self.regs[reg] = value & (2**64 - 1)
 
+        self._fast = config.fast_path
         self.opn = WormholeMesh(5, 5, queue_depth=config.opn_router_depth,
-                                lanes=config.opn_links_per_hop)
+                                lanes=config.opn_links_per_hop,
+                                active_set=config.fast_path)
         # detailed NUCA secondary memory (only stepped when L2 is modelled)
         self.sysmem_port_base = sysmem_port_base
         self._owns_sysmem = sysmem is None
@@ -202,7 +220,8 @@ class TripsProcessor:
         else:
             from ..mem.sysmem import SecondaryMemory, SysMemConfig
             self.sysmem = SecondaryMemory(
-                SysMemConfig(dram_cycles=config.dram_cycles),
+                SysMemConfig(dram_cycles=config.dram_cycles,
+                             active_set=config.fast_path),
                 backing=self.memory)
         self.ets = [ExecTile(self, i) for i in range(16)]
         self.rts = [RegTile(self, b) for b in range(4)]
@@ -211,7 +230,12 @@ class TripsProcessor:
                                  128) for _ in range(5)]
         self.predictor = NextBlockPredictor(config.predictor)
 
-        self._decoded: Dict[int, DecodedBlock] = {}
+        # per-Program decode cache, shared across processor instances:
+        # DecodedBlock is immutable once built (it is already reused by
+        # every BlockInst of a run), so re-simulating the same program —
+        # the bench harness, the fast-path equivalence tests — skips the
+        # decode warmup entirely
+        self._decoded: Dict[int, DecodedBlock] = _decode_cache_for(program)
         self._events: List[Tuple[int, int, object]] = []
         self._event_seq = 0
         self.trace: Optional[Trace] = Trace() if trace else None
@@ -219,6 +243,7 @@ class TripsProcessor:
         # block window
         self.window: List[BlockInst] = []       # ordered by seq
         self.window_by_uid: Dict[int, BlockInst] = {}
+        self.window_by_seq: Dict[int, BlockInst] = {}
         self.live_uids: Set[int] = set()
         self.free_frames = set(range(config.max_blocks_in_flight))
         self.next_uid = 0
@@ -255,8 +280,10 @@ class TripsProcessor:
 
     def schedule(self, at_cycle: int, fn) -> None:
         self._event_seq += 1
-        heapq.heappush(self._events, (max(at_cycle, self.cycle + 1),
-                                      self._event_seq, fn))
+        floor = self.cycle + 1
+        if at_cycle < floor:
+            at_cycle = floor
+        heapq.heappush(self._events, (at_cycle, self._event_seq, fn))
 
     def older_blocks(self, seq: int):
         """In-flight blocks older than ``seq``, youngest first."""
@@ -276,13 +303,122 @@ class TripsProcessor:
     # ------------------------------------------------------------------
     def run(self) -> ProcStats:
         cfg = self.config
+        fast = cfg.fast_path
         while not self.halted:
             if self.cycle >= cfg.max_cycles:
                 raise ProcError(
                     f"cycle budget {cfg.max_cycles} exhausted "
                     f"(pc window: {[hex(b.addr) for b in self.window]})")
             self.step()
+            # cheap pre-gate: with operands still in flight the core can
+            # never be quiescent, so skip the full next_work_t() scan
+            if fast and not self.halted and self.opn.is_idle():
+                self._try_fast_forward()
         return self.finalize_stats()
+
+    # ------------------------------------------------------------------
+    # fast path: idle-cycle fast-forward
+    # ------------------------------------------------------------------
+    def next_work_t(self) -> Optional[int]:
+        """Earliest cycle >= ``self.cycle`` at which this core can do work.
+
+        Returns ``self.cycle`` when any component is busy right now, a
+        future cycle when all activity is pinned to known times (event
+        heap, predictor latency, block completion, sysmem), or None when
+        no work can ever arise without external input (deadlock — the run
+        loop then burns straight to the cycle budget, exactly as the slow
+        path would).  The estimate may be early (waking to a no-op cycle
+        is harmless) but is never late: every skipped cycle is provably a
+        no-op for all tiles, both networks and the GT.
+        """
+        t = self.cycle
+        if not self.opn.is_idle():
+            return t
+        for et in self.ets:
+            if not et.is_idle():
+                return t
+        for rt in self.rts:
+            if not rt.is_idle():
+                return t
+        for dt in self.dts:
+            if not dt.is_idle():
+                return t
+        times = []
+        if self._events:
+            times.append(self._events[0][0])
+        gt = self._gt_next_work_t(t)
+        if gt is not None:
+            times.append(gt)
+        if self.sysmem is not None and self._owns_sysmem:
+            mem = self.sysmem.next_work_t()
+            if mem is not None:
+                times.append(mem)
+        if not times:
+            return None
+        return max(t, min(times))
+
+    def _gt_next_work_t(self, t: int) -> Optional[int]:
+        """Earliest cycle the GT could commit or fetch, barring new events.
+
+        Mirrors the time-dependent gates of :meth:`_try_commit` (a block
+        commits once ``t`` reaches its ``completed_t``) and
+        :meth:`_try_fetch` (prediction latency and the GDN-backlog
+        window), whose inputs only change through timed events or packet
+        deliveries — both absent during a skipped stretch.
+        """
+        times = []
+        # pipelined commit: the first block without a commit command sent
+        # gates all younger ones
+        for block in self.window:
+            if block.commit_sent_t >= 0:
+                continue
+            if block.completed_t >= 0:
+                times.append(block.completed_t)
+            break
+        if self.free_frames:
+            addr_t = None
+            if self._pending_fetch_addr is not None:
+                addr_t = t
+            elif self.window:
+                tail = self.window[-1]
+                if tail.resolved_next is not None:
+                    if tail.resolved_next != EXIT_ADDRESS:
+                        addr_t = t
+                elif tail.pred_for_next is not None:
+                    target = tail.pred_for_next.target
+                    unresolved = sum(1 for b in self.window
+                                     if b.resolved_next is None)
+                    if target != EXIT_ADDRESS \
+                            and target in self.program.blocks \
+                            and unresolved <= self.config.speculative_blocks:
+                        addr_t = max(t, tail.pred_ready_t)
+            if addr_t is not None:
+                backlog_clear = self.dispatch_pipe_free \
+                    - self.config.predict_cycles - 2
+                times.append(max(addr_t, backlog_clear))
+        if not times:
+            return None
+        return max(t, min(times))
+
+    def _try_fast_forward(self) -> None:
+        """Jump ``cycle`` over a provably-idle stretch in one assignment.
+
+        The skipped cycles still count: stats read ``self.cycle``, so a
+        10,000-cycle DRAM wait reports 10,000 cycles whether they were
+        stepped or skipped.
+        """
+        t = self.cycle
+        target = self.next_work_t()
+        if target is None:
+            target = self.config.max_cycles
+        else:
+            target = min(target, self.config.max_cycles)
+        if target <= t:
+            return
+        self.cycle = target
+        self.opn.cycle_count = target
+        if self.sysmem is not None and self._owns_sysmem:
+            self.sysmem.fast_forward(target)
 
     def finalize_stats(self) -> ProcStats:
         """Fold end-of-run tile state into the stats record."""
@@ -297,18 +433,32 @@ class TripsProcessor:
     def step(self) -> None:
         t = self.cycle
         # phase A: timed events (completions, dispatch arrivals, commits)
-        while self._events and self._events[0][0] <= t:
-            _, _, fn = heapq.heappop(self._events)
+        events = self._events
+        while events and events[0][0] <= t:
+            fn = heapq.heappop(events)[2]
             fn()
         # phase B: operand network deliveries
-        self._deliver_packets(t)
-        # phase C: tile work
-        for rt in self.rts:
-            rt.tick(t)
-        for et in self.ets:
-            et.tick(t)
-        for dt in self.dts:
-            dt.tick(t)
+        if not self._fast or self.opn.delivery_pending:
+            self._deliver_packets(t)
+        # phase C: tile work (fast path: skip tiles with provably nothing
+        # to do this cycle — their tick() is a no-op by inspection)
+        if self._fast:
+            for rt in self.rts:
+                if rt.read_requests or rt.outbox:
+                    rt.tick(t)
+            for et in self.ets:
+                if et.candidates or et.outbox:
+                    et.tick(t)
+            for dt in self.dts:
+                if dt.requests or dt.deferred or dt.outbox:
+                    dt.tick(t)
+        else:
+            for rt in self.rts:
+                rt.tick(t)
+            for et in self.ets:
+                et.tick(t)
+            for dt in self.dts:
+                dt.tick(t)
         self._gt_tick(t)
         # phase D: network advance (OPN, and the OCN when owned)
         self.opn.step()
@@ -326,6 +476,33 @@ class TripsProcessor:
                 fn()
 
     def _deliver_packets(self, t: int) -> None:
+        if self._fast:
+            # The pending set (rather than 25 take_delivered calls) keeps
+            # the drain proportional to actual traffic; the ET -> RT ->
+            # DT -> GT visit order is the same as always.
+            pending = self.opn.delivery_pending
+            if not pending:
+                return
+            take = self.opn.take_delivered
+            for et in self.ets:
+                if et.coord in pending:
+                    for pkt in take(et.coord):
+                        et.deliver_operand(pkt.payload, t, pkt.hops,
+                                           pkt.qcycles)
+            for rt in self.rts:
+                if rt.coord in pending:
+                    for pkt in take(rt.coord):
+                        rt.deliver_write(pkt.payload, t)
+            for dt in self.dts:
+                if dt.coord in pending:
+                    for pkt in take(dt.coord):
+                        dt.deliver_request(pkt.payload, pkt.hops,
+                                           pkt.qcycles, t)
+            if self.GT_COORD in pending:
+                for pkt in take(self.GT_COORD):
+                    self._on_branch(pkt.payload, t)
+            return
+        # escape hatch: the original engine's unconditional coordinate scan
         for et in self.ets:
             for pkt in self.opn.take_delivered(et.coord):
                 msg = pkt.payload
@@ -398,7 +575,10 @@ class TripsProcessor:
         self._pending_fetch_addr = None
         # was this fetch waiting on the frame (window full -> commit-bound)
         # or on the address (prediction / resolution -> fetch-bound)?
-        frame_info = self.frame_freed.get(frame)
+        # pop: each freed-frame record is consulted exactly once, by the
+        # fetch that reclaims the frame, so the dict stays bounded by the
+        # number of currently-free frames instead of accumulating forever
+        frame_info = self.frame_freed.pop(frame, None)
         addr_known_t = cause[-1] if isinstance(cause[-1], int) else 0
         if frame_info is not None and frame_info[0] > addr_known_t:
             cause = ("frame", frame_info[1], frame_info[0])
@@ -430,6 +610,7 @@ class TripsProcessor:
                           dispatch_start=dispatch_start)
         self.window.append(block)
         self.window_by_uid[uid] = block
+        self.window_by_seq[seq] = block
         self.live_uids.add(uid)
         self.stats.blocks_fetched += 1
 
@@ -625,7 +806,21 @@ class TripsProcessor:
             return
         self.live_uids.discard(block.uid)
         self.window_by_uid.pop(block.uid, None)
-        self.window = [b for b in self.window if b.uid != block.uid]
+        self.window_by_seq.pop(block.seq, None)
+        # deallocation is almost always of the window head; remove by
+        # index instead of rebuilding the whole list
+        window = self.window
+        if window and window[0] is block:
+            del window[0]
+        else:
+            for i, b in enumerate(window):  # rare out-of-order ack
+                if b is block:
+                    del window[i]
+                    break
+        # the seq is only consulted (prior_stores_arrived) while the block
+        # is still in the window; dropping it here keeps the set bounded
+        # by the in-flight window instead of growing for the whole run
+        self.committed_seqs.discard(block.seq)
         self.free_frames.add(block.frame)
         self.frame_freed[block.frame] = (self.cycle, block.uid)
         for rt in self.rts:
@@ -645,13 +840,22 @@ class TripsProcessor:
             self.halt_uid = block.uid
             if self.trace is not None:
                 self.trace.final_block_uid = block.uid
+        elif not window and self._pending_fetch_addr is None \
+                and block.resolved_next is not None:
+            # The tail deallocated before its successor could be fetched
+            # (possible when a flush serialized the GDN pipe just as the
+            # last survivor committed): pin the resolved target or the PC
+            # leaves the window with the block and fetch deadlocks.
+            self._pending_fetch_addr = block.resolved_next
+            self._pending_fetch_cause = ("resolved", block.uid,
+                                         block.branch_t)
 
     # ------------------------------------------------------------------
     # flush protocol
     # ------------------------------------------------------------------
     def request_violation_flush(self, seq: int, dt_index: int, t: int) -> None:
         """A DT detected a load-ordering violation in block ``seq``."""
-        victim = next((b for b in self.window if b.seq == seq), None)
+        victim = self.window_by_seq.get(seq)
         if victim is None:
             return
         self.stats.flushes_violation += 1
@@ -669,13 +873,13 @@ class TripsProcessor:
     def _flush_from(self, victim: BlockInst, refetch: int, reason: str,
                     t: int) -> None:
         doomed = [b for b in self.window if b.seq >= victim.seq]
-        older = next((b for b in self.window if b.seq == victim.seq - 1), None)
+        older = self.window_by_seq.get(victim.seq - 1)
         # The victim's own address is only an authoritative refetch target
         # when nothing older survives (the victim was the non-speculative
         # head).  Otherwise the surviving tail's branch resolution decides:
         # the victim may have been a wrong-path block whose "address" must
         # not override the predecessor's eventual resolution.
-        survivors = [b for b in self.window if b.seq < victim.seq]
+        survivors = self.window and self.window[0].seq < victim.seq
         self._do_flush(older, doomed,
                        refetch if not survivors else None, reason, t)
 
@@ -700,12 +904,17 @@ class TripsProcessor:
         for block in doomed:
             self.live_uids.discard(block.uid)
             self.window_by_uid.pop(block.uid, None)
+            self.window_by_seq.pop(block.seq, None)
+            self.committed_seqs.discard(block.seq)
             self.free_frames.add(block.frame)
             self.frame_freed[block.frame] = (t, None)
             self.stats.blocks_flushed += 1
             if self.trace is not None and block.uid in self.trace.blocks:
                 self.trace.blocks[block.uid].outcome = "flushed"
-        self.window = [b for b in self.window if b.uid not in uids]
+        if doomed:
+            # the doomed set is always a seq-contiguous suffix of the
+            # (seq-ordered) window: truncate in place
+            del self.window[len(self.window) - len(doomed):]
         for et in self.ets:
             et.flush(uids)
         for rt in self.rts:

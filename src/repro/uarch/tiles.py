@@ -26,7 +26,7 @@ MASK64 = (1 << 64) - 1
 # ----------------------------------------------------------------------
 # Messages carried as OPN packet payloads
 # ----------------------------------------------------------------------
-@dataclass
+@dataclass(slots=True)
 class OperandMsg:
     """A 64-bit operand (or null token) headed for one target."""
 
@@ -39,7 +39,7 @@ class OperandMsg:
     send_t: int
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     block_uid: int
     seq: int
@@ -55,7 +55,7 @@ class MemRequest:
     send_t: int
 
 
-@dataclass
+@dataclass(slots=True)
 class BranchMsg:
     block_uid: int
     exit_no: int
@@ -109,19 +109,31 @@ class ExecTile:
         self.proc = proc
         self.index = index
         self.coord = (1 + index // 4, 1 + index % 4)
-        self.stations: Dict[Tuple[int, int], _Station] = {}
+        # block uid -> {slot -> _Station}: two-level so a block's stations
+        # vanish in O(1) at commit/flush instead of an O(stations) sweep
+        self.stations: Dict[int, Dict[object, _Station]] = {}
         self.candidates: set = set()
         self.div_busy_until = 0
         self.outbox: deque = deque()
         self.issued = 0
 
+    def is_idle(self) -> bool:
+        """No issuable instruction and nothing waiting to inject.
+
+        Stations still waiting for operands don't count: they can only be
+        woken by an OPN delivery or a timed event, both of which the fast
+        path accounts for separately.
+        """
+        return not self.candidates and not self.outbox
+
     # -- state arrival --------------------------------------------------
     def _station(self, block_uid: int, slot: int) -> _Station:
-        key = (block_uid, slot)
-        station = self.stations.get(key)
+        per_block = self.stations.get(block_uid)
+        if per_block is None:
+            per_block = self.stations[block_uid] = {}
+        station = per_block.get(slot)
         if station is None:
-            station = _Station()
-            self.stations[key] = station
+            station = per_block[slot] = _Station()
         return station
 
     def dispatch_inst(self, block_uid: int, seq: int, slot: int, inst,
@@ -164,13 +176,16 @@ class ExecTile:
 
     # -- issue ------------------------------------------------------------
     def tick(self, t: int) -> None:
-        self._drain_outbox()
+        if self.outbox:
+            self._drain_outbox()
         if not self.candidates:
             return
         best_key = None
         best_order = None
+        best_station = None
         for key in self.candidates:
-            station = self.stations.get(key)
+            per_block = self.stations.get(key[0])
+            station = per_block.get(key[1]) if per_block else None
             if station is None or not station.ready():
                 continue
             if station.inst.opcode is Opcode.DIVS and self.div_busy_until > t:
@@ -179,10 +194,11 @@ class ExecTile:
             if best_order is None or order < best_order:
                 best_order = order
                 best_key = key
+                best_station = station
         if best_key is None:
             return
         self.candidates.discard(best_key)
-        station = self.stations[best_key]
+        station = best_station
         inst = station.inst
         # Predicate check at issue: mismatch kills the instruction.
         if inst.pred is not None:
@@ -314,11 +330,14 @@ class ExecTile:
 
     # -- flush -------------------------------------------------------------
     def flush(self, uids) -> None:
-        for key in [k for k in self.stations if k[0] in uids]:
-            del self.stations[key]
-        self.candidates = {k for k in self.candidates if k[0] not in uids}
-        self.outbox = deque(p for p in self.outbox
-                            if p.payload.block_uid not in uids)
+        for uid in uids:
+            self.stations.pop(uid, None)
+        if self.candidates:
+            self.candidates = {k for k in self.candidates
+                               if k[0] not in uids}
+        if self.outbox:
+            self.outbox = deque(p for p in self.outbox
+                                if p.payload.block_uid not in uids)
 
 
 # ----------------------------------------------------------------------
@@ -354,6 +373,14 @@ class RegTile:
         self.commit_free_t = 0
         self.forwards = 0
         self.file_reads = 0
+
+    def is_idle(self) -> bool:
+        """No read to serve this cycle and nothing waiting to inject.
+
+        ``waiting_reads`` don't count: they are woken exclusively by write
+        deliveries (OPN packets) or flushes, never by time passing.
+        """
+        return not self.read_requests and not self.outbox
 
     # -- dispatch ---------------------------------------------------------
     def declare_writes(self, block_uid: int, regs: List[int], t: int) -> None:
@@ -403,7 +430,8 @@ class RegTile:
 
     # -- read processing -----------------------------------------------------
     def tick(self, t: int) -> None:
-        self._drain_outbox()
+        if self.outbox:
+            self._drain_outbox()
         # two read ports per bank (Section 3.3)
         for _ in range(2):
             if not self.read_requests:
@@ -493,12 +521,15 @@ class RegTile:
         for uid in uids:
             self.write_queues.pop(uid, None)
             self.expected_writes.pop(uid, None)
-        self.waiting_reads = [w for w in self.waiting_reads
-                              if w[0] not in uids]
-        self.read_requests = deque(r for r in self.read_requests
-                                   if r[0] not in uids)
-        self.outbox = deque(p for p in self.outbox
-                            if p.payload.block_uid not in uids)
+        if self.waiting_reads:
+            self.waiting_reads = [w for w in self.waiting_reads
+                                  if w[0] not in uids]
+        if self.read_requests:
+            self.read_requests = deque(r for r in self.read_requests
+                                       if r[0] not in uids)
+        if self.outbox:
+            self.outbox = deque(p for p in self.outbox
+                                if p.payload.block_uid not in uids)
         # reads of surviving blocks that waited on a flushed block's write
         # must retry (they will now see deeper state or the register file)
         self._wake_waiting(self.proc.cycle)
@@ -530,6 +561,16 @@ class DataTile:
         self.stores = 0
         self.deferred_count = 0
 
+    def is_idle(self) -> bool:
+        """Nothing queued, deferred, or waiting to inject.
+
+        Deferred loads gate the fast path even though nothing is "moving":
+        :meth:`_retry_deferred` re-evaluates them against wall-clock DSN
+        propagation (``prior_stores_arrived``), so they can become
+        executable purely by time advancing.
+        """
+        return not self.requests and not self.deferred and not self.outbox
+
     # -- arrivals ---------------------------------------------------------
     def deliver_request(self, msg: MemRequest, hops: int, queue: int,
                         t: int) -> None:
@@ -539,7 +580,8 @@ class DataTile:
 
     # -- main per-cycle work -------------------------------------------------
     def tick(self, t: int) -> None:
-        self._drain_outbox()
+        if self.outbox:
+            self._drain_outbox()
         # the LSQ accepts one load or store per cycle (Section 3.5);
         # oldest program order first, so speculative younger blocks'
         # traffic cannot starve the block the window is waiting on
@@ -672,9 +714,12 @@ class DataTile:
 
     def flush(self, uids, seqs) -> None:
         self.lsq.flush_blocks(seqs)
-        self.requests = deque(r for r in self.requests
-                              if r[0].block_uid not in uids)
-        self.deferred = [d for d in self.deferred
-                         if d[0].block_uid not in uids]
-        self.outbox = deque(p for p in self.outbox
-                            if p.payload.block_uid not in uids)
+        if self.requests:
+            self.requests = deque(r for r in self.requests
+                                  if r[0].block_uid not in uids)
+        if self.deferred:
+            self.deferred = [d for d in self.deferred
+                             if d[0].block_uid not in uids]
+        if self.outbox:
+            self.outbox = deque(p for p in self.outbox
+                                if p.payload.block_uid not in uids)
