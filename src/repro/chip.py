@@ -60,7 +60,8 @@ class TripsChip:
     def __init__(self, program0: Program, program1: Optional[Program] = None,
                  config: Optional[TripsConfig] = None,
                  memory_mode: str = "shared_l2",
-                 max_cycles: int = 5_000_000):
+                 max_cycles: int = 5_000_000,
+                 telemetry=None):
         config = config or TripsConfig(perfect_l2=False)
         if config.perfect_l2:
             config = config.with_overrides(perfect_l2=False)
@@ -78,7 +79,8 @@ class TripsChip:
                 continue
             self.cores.append(TripsProcessor(
                 program, config=config, memory=self.memory,
-                sysmem=self.sysmem, sysmem_port_base=4 * index))
+                sysmem=self.sysmem, sysmem_port_base=4 * index,
+                telemetry=telemetry))
         self.cycle = 0
 
     @staticmethod
@@ -159,6 +161,8 @@ class TripsChip:
             return
         for core in self.cores:
             if not core.halted:
+                if core.tel is not None:
+                    core.tel.account_skip(core.cycle, target)
                 core.cycle = target
                 core.opn.cycle_count = target
         self.sysmem.fast_forward(target)

@@ -8,6 +8,14 @@ Usage::
                                    [--cache DIR]
     python -m repro.harness floorplan
     python -m repro.harness run <workload> [--level hand|tcc] [--json]
+    python -m repro.harness inspect <workload> [--level hand|tcc]
+                                    [--mem l2perfect|nuca]
+                                    [--perfetto out.json] [--json]
+
+``inspect`` runs one workload with the :mod:`repro.telemetry` probe
+layer enabled and prints the per-tile utilization heatmap and
+stall-attribution table; ``--perfetto`` additionally exports a
+Chrome/Perfetto trace-event timeline.
 
 ``table3`` submits its per-benchmark jobs through :mod:`repro.simlab`;
 ``--workers``/``--cache`` opt into parallel execution and result caching
@@ -63,6 +71,17 @@ def main(argv=None) -> int:
     run_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
     run_p.add_argument("--json", action="store_true",
                        help="emit the full stats record as JSON")
+    ins_p = sub.add_parser(
+        "inspect", help="run one workload with telemetry and report")
+    ins_p.add_argument("workload")
+    ins_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
+    ins_p.add_argument("--mem", default="l2perfect",
+                       choices=["l2perfect", "nuca"],
+                       help="secondary memory model (default l2perfect)")
+    ins_p.add_argument("--perfetto", default=None, metavar="FILE",
+                       help="also export a Perfetto trace-event JSON")
+    ins_p.add_argument("--json", action="store_true",
+                       help="emit the telemetry summary as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -109,6 +128,25 @@ def main(argv=None) -> int:
                   f"{run.stats.blocks_flushed} flushed "
                   f"({run.stats.flushes_mispredict} mispredict / "
                   f"{run.stats.flushes_violation} violation)")
+    elif args.command == "inspect":
+        from ..telemetry.perfetto import export_perfetto
+        from ..telemetry.report import render_report
+        from ..uarch.config import TripsConfig
+        config = TripsConfig(perfect_l2=(args.mem != "nuca"))
+        run = run_trips_workload(args.workload, level=args.level,
+                                 config=config, telemetry=True)
+        summary = run.proc.tel.summary()
+        if args.json:
+            print(json.dumps(summary.to_dict(), indent=2))
+        else:
+            title = (f"{args.workload} @ {args.level} "
+                     f"(mem={args.mem}, IPC {run.ipc:.2f})")
+            print(render_report(summary, title=title))
+        if args.perfetto:
+            doc = export_perfetto(run.proc.tel, args.perfetto)
+            print(f"wrote {args.perfetto} "
+                  f"({len(doc['traceEvents'])} trace events)",
+                  file=sys.stderr)
     return 0
 
 

@@ -25,8 +25,11 @@ from __future__ import annotations
 import json
 import math
 import platform
+import subprocess
 import sys
 import time
+from dataclasses import asdict
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..compiler import compile_tir
@@ -129,6 +132,7 @@ def run_bench(smoke: bool = False, repeat: int = 2,
         "suite": "smoke" if smoke else "table3",
         "repeat": repeat,
         "python": platform.python_version(),
+        **provenance(),
         "cases": len(results),
         "equivalent": not mismatches,
         "mismatches": mismatches,
@@ -150,6 +154,31 @@ def run_bench(smoke: bool = False, repeat: int = 2,
             fh.write("\n")
         say(f"wrote {out}")
     return report
+
+
+def _git_rev() -> str:
+    """Short commit hash of the working tree, or "unknown"."""
+    root = Path(__file__).resolve().parents[3]
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=root,
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def provenance() -> Dict:
+    """Where and with what a benchmark report was produced — enough to
+    judge whether two reports' absolute numbers are comparable."""
+    return {
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "git_rev": _git_rev(),
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "config": asdict(TripsConfig()),
+    }
 
 
 def _geomean(values: List[float]) -> float:

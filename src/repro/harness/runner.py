@@ -66,12 +66,19 @@ def _resolve(workload) -> TirProgram:
 def run_trips_workload(workload, level: str = "hand",
                        config: Optional[TripsConfig] = None,
                        trace: bool = False,
-                       validate: bool = True) -> TripsRun:
-    """Compile and run one workload on tsim-proc."""
+                       validate: bool = True,
+                       telemetry=None) -> TripsRun:
+    """Compile and run one workload on tsim-proc.
+
+    ``telemetry`` may be True or a
+    :class:`~repro.telemetry.TelemetryConfig`; the recorder is then
+    reachable as ``run.proc.tel``.
+    """
     tir = _resolve(workload)
     compiled = compile_tir(tir, level=level)
     proc = TripsProcessor(compiled.program,
-                          config=config or TripsConfig(), trace=trace)
+                          config=config or TripsConfig(), trace=trace,
+                          telemetry=telemetry)
     stats = proc.run()
     if validate:
         golden = interpret(tir).output_signature(tir.outputs)

@@ -80,6 +80,8 @@ class SecondaryMemory:
         self._parked: List = []
         self.cycle = 0
         self.stats = {"requests": 0, "dram_accesses": 0, "dma_copies": 0}
+        #: optional :class:`repro.telemetry.recorder.SysMemTelemetry` sink
+        self.telemetry = None
         self.configure(self.config.mode)
 
     # ------------------------------------------------------------------
@@ -198,6 +200,8 @@ class SecondaryMemory:
                     kind, req, idx = packet.payload
                     mt = self.mts[idx]
                     ready, needs_dram = mt.access(req.address, self.cycle)
+                    if self.telemetry is not None:
+                        self.telemetry.note_mt(idx, needs_dram)
                     if needs_dram:
                         done = ready + self.config.dram_cycles
                         mt.note_refill(done)
@@ -211,6 +215,8 @@ class SecondaryMemory:
                 for packet in take(coord):
                     kind, req, _ = packet.payload
                     self._responses.setdefault(req.port, []).append(req.meta)
+        if self.telemetry is not None:
+            self.telemetry.note_inflight(self.cycle, len(self._pending_dram))
         self.ocn.step()
         self.cycle += 1
 

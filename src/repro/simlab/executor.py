@@ -59,12 +59,17 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
     if spec.kind == "trips":
         run = run_trips_workload(spec.workload, level=spec.level,
                                  config=trips_config_from_dict(spec.config),
-                                 trace=spec.trace)
+                                 trace=spec.trace,
+                                 telemetry=spec.telemetry)
         result = {"kind": "trips", "name": run.name, "level": run.level,
                   "stats": run.stats.to_dict()}
         if spec.trace:
             from ..analysis import analyze_critical_path
             result["critpath"] = analyze_critical_path(run.proc.trace).row()
+        if spec.telemetry:
+            # the compact summary — not the raw event stream — is what
+            # the cache record carries (JSON-round-trippable by design)
+            result["telemetry"] = run.proc.tel.summary().to_dict()
         return result
 
     if spec.kind == "baseline":

@@ -83,6 +83,7 @@ class RunSpec:
     workload: str
     level: str = ""                 # trips only: "hand" | "tcc"
     trace: bool = False             # trips only: collect a critpath trace
+    telemetry: bool = False         # trips only: cache a telemetry summary
     hand: bool = False              # compare only: include the hand level
     config: Dict[str, Any] = field(default_factory=dict)
     fingerprint: str = ""
@@ -91,9 +92,11 @@ class RunSpec:
     @classmethod
     def trips(cls, workload: str, level: str = "hand",
               config: Optional[TripsConfig] = None, trace: bool = False,
+              telemetry: bool = False,
               fingerprint: Optional[str] = None) -> "RunSpec":
         return cls(kind="trips", workload=workload, level=level,
-                   trace=trace, config=trips_config_to_dict(config),
+                   trace=trace, telemetry=telemetry,
+                   config=trips_config_to_dict(config),
                    fingerprint=fingerprint if fingerprint is not None
                    else code_fingerprint())
 
@@ -125,7 +128,8 @@ class RunSpec:
     # -- identity --------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "workload": self.workload,
-                "level": self.level, "trace": self.trace, "hand": self.hand,
+                "level": self.level, "trace": self.trace,
+                "telemetry": self.telemetry, "hand": self.hand,
                 "config": self.config, "fingerprint": self.fingerprint}
 
     @classmethod
@@ -133,6 +137,7 @@ class RunSpec:
         return cls(kind=data["kind"], workload=data["workload"],
                    level=data.get("level", ""),
                    trace=bool(data.get("trace", False)),
+                   telemetry=bool(data.get("telemetry", False)),
                    hand=bool(data.get("hand", False)),
                    config=dict(data.get("config", {})),
                    fingerprint=data.get("fingerprint", ""))
@@ -149,7 +154,8 @@ class RunSpec:
         """Short human-readable job name for progress lines."""
         if self.kind == "trips":
             return f"trips:{self.workload}@{self.level}" + \
-                (" +trace" if self.trace else "")
+                (" +trace" if self.trace else "") + \
+                (" +tel" if self.telemetry else "")
         if self.kind == "compare":
             return f"compare:{self.workload}" + ("" if self.hand
                                                  else " (no hand)")

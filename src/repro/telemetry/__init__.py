@@ -1,0 +1,43 @@
+"""repro.telemetry: the zero-overhead-when-off observability layer.
+
+The simulator's end-of-run aggregates (``ProcStats``) answer *how many*
+cycles a run took; this package answers *where they went* — the question
+Sections 4-5 of the paper are about.  When a
+:class:`~repro.telemetry.config.TelemetryConfig` is passed to
+:class:`~repro.uarch.proc.TripsProcessor` (or through
+``run_trips_workload(..., telemetry=...)``), a
+:class:`~repro.telemetry.recorder.TelemetryRecorder` rides along and
+records:
+
+* **block lifecycle spans** — fetch → dispatch → execute → commit → ack
+  per block, with the flush cause for squashed blocks,
+* **per-tile cycle accounting** — every cycle of every tile classified
+  as busy, one of six stall categories (waiting-operand,
+  OPN-backpressure, GDN-backlog, LSQ-full, cache-miss,
+  dependence-deferral), or idle; the categories sum exactly to
+  ``ProcStats.cycles``, including cycles the fast-path engine
+  fast-forwarded over (accounted as idle/waiting spans, never lost),
+* **micronet utilization** — per-router, per-link flit counts and
+  queue-depth histograms for the OPN (and the OCN when the NUCA memory
+  system is modelled),
+* **NUCA/DRAM occupancy** — in-flight request counts over time and
+  per-MT access totals.
+
+Every probe site in the core is guarded by a single
+``if self.tel is not None`` (or the tile-side ``proc.tel``), so a run
+without telemetry executes exactly the instruction stream it always did —
+the PR-3 fast path and the checked-in ``BENCH_engine.json`` numbers are
+unaffected.
+
+Sinks: :mod:`repro.telemetry.perfetto` exports Chrome/Perfetto
+trace-event JSON (``chrome://tracing`` or https://ui.perfetto.dev),
+:mod:`repro.telemetry.report` renders the terminal utilization heatmap
+and stall-attribution table behind ``python -m repro.harness inspect``,
+and :class:`~repro.telemetry.recorder.TelemetrySummary` is the compact,
+JSON-round-trippable record that simlab caches alongside ``ProcStats``.
+"""
+
+from .config import TelemetryConfig
+from .recorder import TelemetryRecorder, TelemetrySummary
+
+__all__ = ["TelemetryConfig", "TelemetryRecorder", "TelemetrySummary"]

@@ -1,0 +1,104 @@
+"""Schema/structure validation of exported Perfetto trace-event JSON.
+
+Used by the telemetry-smoke CI job and the telemetry tests: a trace
+must be loadable, every event must carry the fields its phase requires,
+and the duration spans of each (pid, tid) track must nest monotonically
+— any two spans are either disjoint or one strictly contains the other,
+which is what the Perfetto UI assumes when it assigns rows.
+
+Run it directly::
+
+    python -m repro.telemetry.check out.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Dict, List
+
+_PHASES = {"X", "C", "M"}
+_REQUIRED = {"X": ("name", "ts", "dur", "pid", "tid"),
+             "C": ("name", "ts", "pid", "args"),
+             "M": ("name", "pid", "args")}
+
+
+def check_trace(doc: Dict) -> List[str]:
+    """Structural errors in a trace-event document ([] = clean)."""
+    errors: List[str] = []
+    events = doc.get("traceEvents") if isinstance(doc, dict) else None
+    if not isinstance(events, list):
+        return ["top level must be an object with a traceEvents list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    tracks: Dict[tuple, List] = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"event {i}: unknown phase {ph!r}")
+            continue
+        missing = [key for key in _REQUIRED[ph] if key not in event]
+        if missing:
+            errors.append(f"event {i} ({ph}): missing {missing}")
+            continue
+        if ph != "M" and (not isinstance(event["ts"], int)
+                          or event["ts"] < 0):
+            errors.append(f"event {i}: bad ts {event.get('ts')!r}")
+        if ph == "X":
+            if not isinstance(event["dur"], int) or event["dur"] < 0:
+                errors.append(f"event {i}: bad dur {event['dur']!r}")
+            else:
+                tracks.setdefault((event["pid"], event["tid"]), []).append(
+                    (event["ts"], event["ts"] + event["dur"],
+                     event["name"]))
+    for (pid, tid), spans in sorted(tracks.items()):
+        errors.extend(_check_nesting(pid, tid, spans))
+    return errors
+
+
+def _check_nesting(pid, tid, spans) -> List[str]:
+    """Spans on one track must be disjoint or properly contained."""
+    errors = []
+    spans.sort(key=lambda s: (s[0], -s[1]))
+    stack: List = []       # enclosing spans, innermost last
+    for ts, end, name in spans:
+        while stack and ts >= stack[-1][0]:
+            stack.pop()
+        if stack and end > stack[-1][0]:
+            outer_end, outer_name = stack[-1]
+            errors.append(
+                f"track pid={pid} tid={tid}: span {name!r} "
+                f"[{ts}, {end}) overlaps {outer_name!r} ending at "
+                f"{outer_end}")
+            continue
+        stack.append((end, name))
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.telemetry.check <trace.json>",
+              file=sys.stderr)
+        return 2
+    try:
+        with open(argv[0]) as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"{argv[0]}: unreadable: {exc}", file=sys.stderr)
+        return 1
+    errors = check_trace(doc)
+    for error in errors:
+        print(f"{argv[0]}: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    n = len(doc["traceEvents"])
+    print(f"{argv[0]}: OK ({n} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

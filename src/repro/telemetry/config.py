@@ -1,0 +1,42 @@
+"""Telemetry configuration: which probe families record, and how much.
+
+The default-constructed config enables everything; the simulator-facing
+contract is that a ``None`` telemetry object (the default everywhere)
+means *no probes run at all* — each site is a single
+``if self.tel is not None`` test, so the disabled cost is one pointer
+compare per site, not a call into a no-op recorder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..serialize import dataclass_from_dict, dataclass_to_dict
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What the recorder keeps while a run executes.
+
+    ``spans``/``tiles``/``mesh``/``sysmem`` gate the four probe families
+    (block lifecycle spans, per-tile cycle accounting, micronet link and
+    queue-depth telemetry, NUCA/DRAM occupancy).  ``max_spans`` bounds
+    the retained block-span ring on long runs (0 = keep every block);
+    finished spans beyond the bound are dropped oldest-first, while the
+    per-tile and network accounting — O(transitions), not O(blocks) —
+    is always complete.
+    """
+
+    spans: bool = True
+    tiles: bool = True
+    mesh: bool = True
+    sysmem: bool = True
+    max_spans: int = 0
+
+    def to_dict(self) -> Dict:
+        return dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "TelemetryConfig":
+        return dataclass_from_dict(cls, data)

@@ -1,0 +1,103 @@
+"""Terminal rendering of a :class:`TelemetrySummary`.
+
+``python -m repro.harness inspect <workload>`` prints this report: the
+per-tile utilization heatmap laid out like the die (Figure 4 — GT and
+RTs on the top row, each DT heading its ET row), the stall-attribution
+table, block lifecycle averages, and micronet/memory occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .recorder import BUSY, IDLE, STALL_STATES, TelemetrySummary
+
+#: utilization glyphs, one per eighth
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+#: die layout (Figure 4): grid[row][col] -> tile name
+_LAYOUT = [["GT", "R0", "R1", "R2", "R3"]] + [
+    [f"D{r}"] + [f"E{4 * r + c}" for c in range(4)] for r in range(4)]
+
+
+def _busy_fraction(summary: TelemetrySummary, name: str) -> float:
+    totals = summary.tiles.get(name, {})
+    if not summary.cycles:
+        return 0.0
+    return totals.get(BUSY, 0) / summary.cycles
+
+
+def _cell(summary: TelemetrySummary, name: str) -> str:
+    frac = _busy_fraction(summary, name)
+    glyph = _BLOCKS[min(len(_BLOCKS) - 1, int(frac * len(_BLOCKS)))]
+    return f"{name:>3s} {glyph} {100 * frac:5.1f}%"
+
+def _fmt_count(n: int) -> str:
+    return f"{n:,}"
+
+
+def render_report(summary: TelemetrySummary, title: str = "") -> str:
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"cycles: {_fmt_count(summary.cycles)}   "
+                 f"blocks committed: {summary.blocks.get('committed', 0)}   "
+                 f"flushed: {summary.blocks.get('flushed', 0)}")
+    ff = summary.fast_forward
+    if ff.get("cycles"):
+        lines.append(f"fast-forwarded: {_fmt_count(ff['cycles'])} idle "
+                     f"cycles in {ff['stretches']} stretches "
+                     f"(accounted in the tile totals below)")
+    # -- heatmap --------------------------------------------------------
+    lines.append("")
+    lines.append("Tile utilization (busy %, die layout):")
+    for row in _LAYOUT:
+        lines.append("  " + "   ".join(_cell(summary, name)
+                                       for name in row))
+    # -- stall attribution ---------------------------------------------
+    n_tiles = len(summary.tiles)
+    total = summary.cycles * n_tiles
+    lines.append("")
+    lines.append(f"Stall attribution (tile-cycles over {n_tiles} tiles):")
+    rows = [(BUSY, summary.busy_cycles)]
+    rows += [(state, summary.stall_totals.get(state, 0))
+             for state in STALL_STATES]
+    rows.append((IDLE, summary.idle_cycles))
+    for state, cycles in rows:
+        share = 100 * cycles / total if total else 0.0
+        lines.append(f"  {state:<21s} {cycles:>12,}   {share:5.1f}%")
+    # -- block lifecycle ------------------------------------------------
+    if summary.block_phases:
+        phases = summary.block_phases
+        lines.append("")
+        lines.append("Committed-block lifecycle (mean cycles):")
+        lines.append(
+            f"  fetch→dispatch {phases['fetch_to_dispatch']:.1f}   "
+            f"execute {phases['execute']:.1f}   "
+            f"complete→commit {phases['complete_to_commit']:.1f}   "
+            f"commit→ack {phases['commit_to_ack']:.1f}   "
+            f"lifetime {phases['lifetime']:.1f}")
+    # -- micronets ------------------------------------------------------
+    for label, net in (("OPN", summary.opn), ("OCN", summary.ocn)):
+        if not net:
+            continue
+        lines.append("")
+        lines.append(
+            f"{label}: {_fmt_count(net['total_link_flits'])} link-flits, "
+            f"peak link utilization "
+            f"{100 * net['peak_link_utilization']:.1f}%, "
+            f"peak queue depth {net['peak_queue_depth']}")
+        top = sorted(net["links"].items(), key=lambda kv: -kv[1])[:5]
+        if top:
+            lines.append("  busiest links: " + ", ".join(
+                f"{link} ({_fmt_count(flits)})" for link, flits in top))
+    # -- memory ---------------------------------------------------------
+    if summary.dram:
+        dram = summary.dram
+        lines.append("")
+        lines.append(
+            f"NUCA: {_fmt_count(dram['bank_accesses'])} bank accesses, "
+            f"{_fmt_count(dram['dram_accesses'])} DRAM accesses, "
+            f"in-flight avg {dram['avg_inflight']:.2f} / "
+            f"peak {dram['peak_inflight']}")
+    return "\n".join(lines)

@@ -42,6 +42,9 @@ class LoadStoreQueue:
         self.entries: Dict[Key, LsqEntry] = {}
         self.peak_occupancy = 0
 
+    def is_full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
     # ------------------------------------------------------------------
     def insert_store(self, key: Key, address: Optional[int], size: int,
                      data: int, nullified: bool = False) -> List[Key]:

@@ -152,6 +152,8 @@ class WormholeMesh:
         #: nodes with packets awaiting :meth:`take_delivered`
         self.delivery_pending: Set[Coord] = set()
         self.stats = MeshStats()
+        #: optional :class:`repro.telemetry.recorder.MeshTelemetry` sink
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     def inject(self, node: Coord, packet: Packet) -> bool:
@@ -167,6 +169,9 @@ class WormholeMesh:
         self._occupancy[node] += 1
         self._active.add(node)
         self.stats.injected += 1
+        if self.telemetry is not None:
+            self.telemetry.note_depth(node, self.cycle_count,
+                                      self._occupancy[node])
         return True
 
     def take_delivered(self, node: Coord) -> List[Packet]:
@@ -390,4 +395,17 @@ class WormholeMesh:
                 ports[target][entry].queues[packet.vc].append(packet)
                 occupancy[target] += 1
                 active.add(target)
+        tel = self.telemetry
+        if tel is not None and moves:
+            for node, _queue, packet, target, entry in moves:
+                if entry < 0:
+                    direction = "eject"
+                else:
+                    dr = target[0] - node[0]
+                    direction = ("S" if dr > 0 else "N") if dr else \
+                        ("E" if target[1] > node[1] else "W")
+                tel.note_link(node, direction, packet.flits)
+                tel.note_depth(node, now + 1, occupancy[node])
+                if entry >= 0 and target != packet.dest:
+                    tel.note_depth(target, now + 1, occupancy[target])
         self.cycle_count = now + 1

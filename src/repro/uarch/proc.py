@@ -46,6 +46,9 @@ from ..isa import (
 )
 from ..mem.backing import BackingStore
 from ..serialize import dataclass_from_dict, dataclass_to_dict
+from ..telemetry import recorder as _tel
+from ..telemetry.config import TelemetryConfig
+from ..telemetry.recorder import TelemetryRecorder
 from .caches import CacheBank
 from .config import PROTOTYPE, TripsConfig
 from .mesh import Packet, WormholeMesh
@@ -191,11 +194,17 @@ class TripsProcessor:
 
     def __init__(self, program: Program, config: TripsConfig = PROTOTYPE,
                  trace: bool = False, memory: Optional[BackingStore] = None,
-                 sysmem=None, sysmem_port_base: int = 0):
+                 sysmem=None, sysmem_port_base: int = 0,
+                 telemetry=None):
         """``memory``/``sysmem`` may be supplied externally to share them
         between the chip's two cores (see :class:`repro.chip.TripsChip`);
         ``sysmem_port_base`` selects which OCN ports this core's IT/DT
-        pairs own (0 for processor 0, 4 for processor 1)."""
+        pairs own (0 for processor 0, 4 for processor 1).  ``trace`` may
+        be a pre-built :class:`Trace` (e.g. one with a ``max_blocks``
+        retention bound) instead of a bool.  ``telemetry`` enables the
+        :mod:`repro.telemetry` probe layer: pass ``True`` or a
+        :class:`~repro.telemetry.config.TelemetryConfig`; when left
+        ``None`` every probe site reduces to one pointer compare."""
         program.validate()
         self.program = program
         self.config = config
@@ -238,7 +247,8 @@ class TripsProcessor:
         self._decoded: Dict[int, DecodedBlock] = _decode_cache_for(program)
         self._events: List[Tuple[int, int, object]] = []
         self._event_seq = 0
-        self.trace: Optional[Trace] = Trace() if trace else None
+        self.trace: Optional[Trace] = trace if isinstance(trace, Trace) \
+            else (Trace() if trace else None)
 
         # block window
         self.window: List[BlockInst] = []       # ordered by seq
@@ -259,6 +269,17 @@ class TripsProcessor:
         # bootstrap: first fetch has no prediction; its address is the entry
         self._pending_fetch_addr: Optional[int] = program.entry
         self._pending_fetch_cause: Tuple = ("init",)
+
+        # telemetry (None = every probe site is a single pointer compare)
+        self.tel: Optional[TelemetryRecorder] = None
+        self._tel_fetch_t = -1
+        self._tel_commit_t = -1
+        self._tel_gdn_blocked_t = -1
+        if telemetry:
+            tel_config = telemetry if isinstance(telemetry, TelemetryConfig) \
+                else TelemetryConfig()
+            self.tel = TelemetryRecorder(tel_config)
+            self.tel.attach(self)
 
     # ------------------------------------------------------------------
     # coordinates / helpers used by the tiles
@@ -415,6 +436,11 @@ class TripsProcessor:
             target = min(target, self.config.max_cycles)
         if target <= t:
             return
+        if self.tel is not None:
+            # skipped cycles are quiescent by construction: account them
+            # as idle (or passive-wait) spans so tile totals still sum
+            # to the cycle count
+            self.tel.account_skip(t, target)
         self.cycle = target
         self.opn.cycle_count = target
         if self.sysmem is not None and self._owns_sysmem:
@@ -466,6 +492,8 @@ class TripsProcessor:
             if self._owns_sysmem:
                 self.sysmem.step()
             self.poll_sysmem()
+        if self.tel is not None:
+            self.tel.record_cycle(t)
         self.cycle += 1
 
     def poll_sysmem(self) -> None:
@@ -523,6 +551,14 @@ class TripsProcessor:
         self._try_fetch(t)
         self._try_commit(t)
 
+    def tel_gt_state(self, t: int) -> str:
+        """Telemetry classification of the GT for stepped cycle ``t``."""
+        if self._tel_fetch_t == t or self._tel_commit_t == t:
+            return _tel.BUSY
+        if self._tel_gdn_blocked_t == t:
+            return _tel.GDN_BACKLOG
+        return _tel.IDLE
+
     def _next_fetch_target(self, t: int) -> Optional[Tuple[int, Tuple]]:
         """(address, trace-cause) of the next block to fetch, if known.
 
@@ -558,6 +594,8 @@ class TripsProcessor:
         # a frame parked behind the GDN does no work and just shrinks the
         # effective in-flight window.
         if self.dispatch_pipe_free > t + self.config.predict_cycles + 2:
+            if self.tel is not None:
+                self._tel_gdn_blocked_t = t
             return
         nxt = self._next_fetch_target(t)
         if nxt is None:
@@ -626,6 +664,9 @@ class TripsProcessor:
         if self.trace is not None:
             self.trace.blocks[uid] = BlockEvent(
                 uid=uid, addr=addr, seq=seq, cause=cause, fetch_t=t)
+        if self.tel is not None:
+            self._tel_fetch_t = t
+            self.tel.block_fetched(uid, addr, seq, frame, t, dispatch_start)
 
     def _schedule_dispatch(self, block: BlockInst) -> None:
         """GDN streaming: header words to RTs, body rows to ETs."""
@@ -669,6 +710,8 @@ class TripsProcessor:
             return
         if self.trace is not None and block.uid in self.trace.blocks:
             self.trace.blocks[block.uid].dispatch_done_t = self.cycle
+        if self.tel is not None:
+            self.tel.block_dispatch_done(block.uid, self.cycle)
         # blocks with no stores: the DTs learn the (empty) store mask from
         # the dispatched header and can signal store completion immediately
         self._check_stores_done(block)
@@ -754,6 +797,8 @@ class TripsProcessor:
             ev = self.trace.blocks[block.uid]
             ev.completed_t = block.completed_t
             ev.complete_reason = reason
+        if self.tel is not None:
+            self.tel.block_completed(block.uid, block.completed_t)
 
     # ------------------------------------------------------------------
     # GT: commit (protocol phases 2 and 3)
@@ -799,6 +844,9 @@ class TripsProcessor:
             ev.commit_t = t
             ev.ack_t = block.ack_t
             ev.outcome = "committed"
+        if self.tel is not None:
+            self._tel_commit_t = t
+            self.tel.block_committed(block.uid, t, block.ack_t)
         self.schedule(block.ack_t, lambda b=block: self._deallocate(b))
 
     def _deallocate(self, block: BlockInst) -> None:
@@ -828,6 +876,8 @@ class TripsProcessor:
         self.stats.blocks_committed += 1
         self.stats.insts_committed += block.fired
         self.stats.reads_committed += block.reads_count
+        if self.trace is not None:
+            self.trace.note_deallocated(block.uid)
         # predictor training with the architectural outcome
         self.predictor.train(
             block.addr, block.branch_exit, block.resolved_next,
@@ -911,6 +961,9 @@ class TripsProcessor:
             self.stats.blocks_flushed += 1
             if self.trace is not None and block.uid in self.trace.blocks:
                 self.trace.blocks[block.uid].outcome = "flushed"
+                self.trace.note_flushed(block.uid)
+            if self.tel is not None:
+                self.tel.block_flushed(block.uid, reason, t)
         if doomed:
             # the doomed set is always a seq-contiguous suffix of the
             # (seq-ordered) window: truncate in place

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Tuple
 from ..isa import ACCESS_SIZE, OpClass, Opcode, OperandKind
 from ..isa.alu import execute
 from ..isa.opcodes import SIGNED_LOADS
+from ..telemetry import recorder as _tel
 from ..tir.semantics import truncate_load
 from .lsq import DependencePredictor, LoadStoreQueue
 from .mesh import Packet
@@ -73,7 +74,7 @@ class _Station:
 
     __slots__ = ("inst", "seq", "left", "right", "pred", "left_null",
                  "right_null", "fired", "dead", "dispatch_t", "release",
-                 "ready_t")
+                 "ready_t", "waiting")
 
     def __init__(self):
         self.inst = None
@@ -88,6 +89,7 @@ class _Station:
         self.dispatch_t = -1
         self.release = ("dispatch", -1)
         self.ready_t = -1
+        self.waiting = False       # telemetry: dispatched but not ready
 
     def ready(self) -> bool:
         if self.inst is None or self.fired or self.dead:
@@ -116,6 +118,9 @@ class ExecTile:
         self.div_busy_until = 0
         self.outbox: deque = deque()
         self.issued = 0
+        # telemetry (maintained only when proc.tel is not None)
+        self._tel_waiting = 0      # dispatched stations missing operands
+        self._tel_issue_t = -1     # cycle of the most recent issue
 
     def is_idle(self) -> bool:
         """No issuable instruction and nothing waiting to inject.
@@ -144,6 +149,9 @@ class ExecTile:
         station.inst = inst
         station.seq = seq
         station.dispatch_t = t
+        if self.proc.tel is not None and not station.ready():
+            station.waiting = True
+            self._tel_waiting += 1
         self._maybe_ready((block_uid, slot), station, ("dispatch", t))
 
     def deliver_operand(self, msg: OperandMsg, t: int,
@@ -170,6 +178,9 @@ class ExecTile:
         the critical-path analyzer walks backwards along.
         """
         if station.ready():
+            if station.waiting:
+                station.waiting = False
+                self._tel_waiting -= 1
             station.release = release
             station.ready_t = self.proc.cycle
             self.candidates.add(key)
@@ -208,6 +219,8 @@ class ExecTile:
                 return
         station.fired = True
         self.issued += 1
+        if self.proc.tel is not None:
+            self._tel_issue_t = t
         block = self.proc.window_by_uid.get(best_key[0])
         if block is not None:
             block.fired += 1
@@ -331,13 +344,35 @@ class ExecTile:
     # -- flush -------------------------------------------------------------
     def flush(self, uids) -> None:
         for uid in uids:
-            self.stations.pop(uid, None)
+            per_block = self.stations.pop(uid, None)
+            if per_block and self._tel_waiting:
+                for station in per_block.values():
+                    if station.waiting:
+                        self._tel_waiting -= 1
         if self.candidates:
             self.candidates = {k for k in self.candidates
                                if k[0] not in uids}
         if self.outbox:
             self.outbox = deque(p for p in self.outbox
                                 if p.payload.block_uid not in uids)
+
+    # -- telemetry ---------------------------------------------------------
+    def tel_state(self, t: int) -> str:
+        """This tile's state for cycle ``t`` (called after the tick)."""
+        if self._tel_issue_t == t:
+            return _tel.BUSY
+        if self.outbox:
+            return _tel.OPN_BACKPRESSURE
+        if self.candidates:
+            return _tel.BUSY        # ready instructions backed up at issue
+        if self._tel_waiting:
+            return _tel.WAITING_OPERAND
+        return _tel.IDLE
+
+    def tel_account(self, timeline, t0: int, t1: int) -> None:
+        """Charge a fast-forwarded stretch ``[t0, t1)`` to the timeline."""
+        state = _tel.WAITING_OPERAND if self._tel_waiting else _tel.IDLE
+        timeline.add(state, t0, t1)
 
 
 # ----------------------------------------------------------------------
@@ -373,6 +408,7 @@ class RegTile:
         self.commit_free_t = 0
         self.forwards = 0
         self.file_reads = 0
+        self._tel_active_t = -1    # telemetry: last cycle a read was served
 
     def is_idle(self) -> bool:
         """No read to serve this cycle and nothing waiting to inject.
@@ -436,6 +472,8 @@ class RegTile:
         for _ in range(2):
             if not self.read_requests:
                 break
+            if self.proc.tel is not None:
+                self._tel_active_t = t
             item = self.read_requests.popleft()
             if not self._try_read(item, t):
                 self.waiting_reads.append(item)
@@ -534,6 +572,27 @@ class RegTile:
         # must retry (they will now see deeper state or the register file)
         self._wake_waiting(self.proc.cycle)
 
+    # -- telemetry ---------------------------------------------------------
+    def tel_state(self, t: int) -> str:
+        if self._tel_active_t == t or self.commit_free_t > t:
+            return _tel.BUSY        # serving reads or draining commit writes
+        if self.outbox:
+            return _tel.OPN_BACKPRESSURE
+        if self.read_requests:
+            return _tel.BUSY        # reads backed up on the two ports
+        if self.waiting_reads:
+            return _tel.WAITING_OPERAND
+        return _tel.IDLE
+
+    def tel_account(self, timeline, t0: int, t1: int) -> None:
+        if self.commit_free_t > t0:
+            mid = min(self.commit_free_t, t1)
+            timeline.add(_tel.BUSY, t0, mid)
+            t0 = mid
+        if t0 < t1:
+            state = _tel.WAITING_OPERAND if self.waiting_reads else _tel.IDLE
+            timeline.add(state, t0, t1)
+
 
 # ----------------------------------------------------------------------
 # Data tile
@@ -560,6 +619,9 @@ class DataTile:
         self.loads = 0
         self.stores = 0
         self.deferred_count = 0
+        # telemetry (maintained only when proc.tel is not None)
+        self._tel_active_t = -1    # last cycle a request was processed
+        self._tel_pending_loads = 0   # cache misses awaiting their reply
 
     def is_idle(self) -> bool:
         """Nothing queued, deferred, or waiting to inject.
@@ -591,6 +653,8 @@ class DataTile:
                                       self.requests[i][0].lsid))
             msg, hops, queue, arrive_t = self.requests[best]
             del self.requests[best]
+            if self.proc.tel is not None:
+                self._tel_active_t = t
             if msg.block_uid in self.proc.live_uids:
                 if msg.is_store:
                     self._process_store(msg, t)
@@ -638,6 +702,8 @@ class DataTile:
     def _execute_load(self, msg: MemRequest, t: int, hops: int = 0,
                       queue: int = 0) -> None:
         self.loads += 1
+        if self.proc.tel is not None:
+            self._tel_active_t = t     # covers deferred-load retries too
         key = (msg.seq, msg.lsid)
         self.lsq.insert_load(key, msg.address, msg.size)
         committed = self.proc.memory.read_bytes(msg.address, msg.size)
@@ -655,11 +721,13 @@ class DataTile:
             # detailed path: the line request crosses the OCN to its home
             # NUCA bank through this DT's private port (Section 3.6)
             line = msg.address - (msg.address % cfg.line_bytes)
+            if self.proc.tel is not None:
+                self._tel_pending_loads += 1
             self.proc.schedule(
                 t + cfg.l1_hit_cycles,
                 lambda m=msg, v=value, ln=line: self.proc.sysmem.request(
                     self.proc.sysmem_port_base + self.index, ln, False,
-                    meta=lambda mm=m, vv=v: self._reply(mm, vv)))
+                    meta=lambda mm=m, vv=v: self._reply(mm, vv, True)))
             if self.proc.trace is not None:
                 ev = self.proc.trace.inst(msg.producer_key)
                 ev.mem_hops = hops
@@ -673,11 +741,18 @@ class DataTile:
             ev.mem_queue = queue
             ev.mem_wait = max(0, t - msg.send_t - hops - queue)
             ev.mem_latency = latency
+        if self.proc.tel is not None and not hit:
+            self._tel_pending_loads += 1
         self.proc.schedule(t + latency,
-                           lambda m=msg, v=value: self._reply(m, v))
+                           lambda m=msg, v=value, ms=not hit:
+                           self._reply(m, v, ms))
 
-    def _reply(self, msg: MemRequest, value: int) -> None:
+    def _reply(self, msg: MemRequest, value: int, miss: bool = False) -> None:
         t = self.proc.cycle
+        # decrement before the liveness check: the scheduled reply always
+        # fires, even when the block was flushed in the meantime
+        if miss and self.proc.tel is not None and self._tel_pending_loads:
+            self._tel_pending_loads -= 1
         if msg.block_uid not in self.proc.live_uids:
             return
         for target in msg.targets:
@@ -723,3 +798,33 @@ class DataTile:
         if self.outbox:
             self.outbox = deque(p for p in self.outbox
                                 if p.payload.block_uid not in uids)
+
+    # -- telemetry ---------------------------------------------------------
+    def tel_state(self, t: int) -> str:
+        if self._tel_active_t == t or self.commit_free_t > t:
+            return _tel.BUSY        # serving a request or draining stores
+        if self.outbox:
+            return _tel.OPN_BACKPRESSURE
+        if self.lsq.is_full():
+            return _tel.LSQ_FULL
+        if self.deferred:
+            return _tel.DEP_DEFERRAL
+        if self._tel_pending_loads:
+            return _tel.CACHE_MISS
+        if self.requests:
+            return _tel.BUSY        # queued behind the one-per-cycle port
+        return _tel.IDLE
+
+    def tel_account(self, timeline, t0: int, t1: int) -> None:
+        if self.commit_free_t > t0:
+            mid = min(self.commit_free_t, t1)
+            timeline.add(_tel.BUSY, t0, mid)
+            t0 = mid
+        if t0 < t1:
+            if self._tel_pending_loads:
+                state = _tel.CACHE_MISS
+            elif self.lsq.is_full():
+                state = _tel.LSQ_FULL
+            else:
+                state = _tel.IDLE
+            timeline.add(state, t0, t1)

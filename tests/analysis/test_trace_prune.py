@@ -1,0 +1,66 @@
+"""``Trace.max_blocks`` pruning must not perturb critical-path analysis.
+
+Pruning drops InstEvents of long-retired blocks down to the closure the
+walker can still reach (the ``complete_reason`` producer cone of every
+committed block plus every instruction a younger block's release or
+flush-cause edge points into).  These tests run every benchmark workload
+twice — unbounded trace vs. a tight ring — and require the critical-path
+report to be *identical*, while the pruned trace actually holds fewer
+events on long runs.
+"""
+
+import pytest
+
+from repro.analysis import analyze_critical_path
+from repro.compiler import compile_tir
+from repro.uarch.proc import TripsProcessor
+from repro.uarch.trace import Trace
+from repro.workloads import get_workload
+from repro.workloads.registry import workload_names
+
+
+def _critpath(program, max_blocks):
+    trace = Trace(max_blocks=max_blocks) if max_blocks else Trace()
+    proc = TripsProcessor(program, trace=trace)
+    proc.run()
+    report = analyze_critical_path(proc.trace)
+    return report, proc.trace
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_critpath_identical_with_pruning(name):
+    program = compile_tir(get_workload(name), level="tcc").program
+    full_report, full_trace = _critpath(program, None)
+    ring_report, ring_trace = _critpath(program, 16)
+    assert ring_report.cycles == full_report.cycles
+    assert ring_report.path_length == full_report.path_length
+    assert ring_report.row() == full_report.row()
+    assert len(ring_trace.insts) <= len(full_trace.insts)
+
+
+@pytest.mark.parametrize("name", ["qr", "sha"])
+def test_critpath_identical_with_pruning_hand(name):
+    program = compile_tir(get_workload(name), level="hand").program
+    full_report, _ = _critpath(program, None)
+    ring_report, _ = _critpath(program, 16)
+    assert ring_report.cycles == full_report.cycles
+    assert ring_report.row() == full_report.row()
+
+
+def test_pruning_actually_bounds_memory():
+    """A long run keeps far fewer InstEvents under a tight ring."""
+    program = compile_tir(get_workload("mcf"), level="tcc").program
+    _, full_trace = _critpath(program, None)
+    _, ring_trace = _critpath(program, 16)
+    assert len(full_trace.blocks) > 100
+    assert len(ring_trace.insts) < len(full_trace.insts) / 2
+    # BlockEvents are never pruned: the fetch-cause chain stays whole
+    assert len(ring_trace.blocks) == len(full_trace.blocks)
+
+
+def test_max_blocks_clamped_to_window():
+    """Rings smaller than the 8-block in-flight window are clamped."""
+    program = compile_tir(get_workload("vadd"), level="hand").program
+    full_report, _ = _critpath(program, None)
+    tiny_report, _ = _critpath(program, 1)
+    assert tiny_report.cycles == full_report.cycles

@@ -1,0 +1,27 @@
+"""BENCH_engine.json provenance: enough context to compare reports."""
+
+import json
+
+from repro.harness.bench import provenance, run_bench
+
+
+def test_provenance_fields():
+    info = provenance()
+    assert info["host"]
+    assert info["platform"]
+    assert info["python"].count(".") == 2
+    assert info["git_rev"]                 # short hash or "unknown"
+    assert info["created_utc"].endswith("Z")
+    assert info["config"]["fast_path"] is True
+
+
+def test_bench_report_carries_provenance(tmp_path):
+    out = tmp_path / "bench.json"
+    report = run_bench(workloads=["vadd"], repeat=1, out=str(out))
+    on_disk = json.loads(out.read_text())
+    assert on_disk == report
+    for field in ("host", "platform", "python", "git_rev",
+                  "created_utc", "config"):
+        assert field in report, field
+    assert report["equivalent"] is True
+    assert report["config"] == provenance()["config"]

@@ -1,0 +1,41 @@
+"""simlab × telemetry: RunSpec can request a cached telemetry summary."""
+
+import json
+
+from repro.simlab import ResultCache, RunSpec, run_specs
+from repro.simlab.executor import execute_spec
+from repro.telemetry.recorder import TelemetrySummary
+
+
+def test_spec_round_trip_and_key():
+    spec = RunSpec.trips("vadd", telemetry=True)
+    again = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert again == spec
+    assert again.key == spec.key
+    # telemetry is part of the identity: distinct cache records
+    assert spec.key != RunSpec.trips("vadd").key
+    assert "+tel" in spec.label
+
+
+def test_execute_spec_carries_summary():
+    result = execute_spec(RunSpec.trips("vadd", telemetry=True))
+    telemetry = result["telemetry"]
+    assert json.loads(json.dumps(telemetry)) == telemetry
+    summary = TelemetrySummary.from_dict(telemetry)
+    assert summary.cycles == result["stats"]["cycles"]
+    for totals in summary.tiles.values():
+        assert sum(totals.values()) == summary.cycles
+
+
+def test_execute_spec_without_telemetry_has_no_summary():
+    result = execute_spec(RunSpec.trips("vadd"))
+    assert "telemetry" not in result
+
+
+def test_telemetry_summary_cached_and_replayed(tmp_path):
+    cache = ResultCache(tmp_path)
+    spec = RunSpec.trips("vadd", telemetry=True)
+    first = run_specs([spec], cache=cache)[0]
+    second = run_specs([spec], cache=cache)[0]   # pure cache hit
+    assert second == first
+    assert second["telemetry"]["cycles"] == first["stats"]["cycles"]

@@ -1,0 +1,35 @@
+"""``python -m repro.harness inspect`` end to end."""
+
+import json
+
+from repro.harness.__main__ import main
+from repro.telemetry.check import check_trace
+
+
+def test_inspect_prints_report(capsys):
+    assert main(["inspect", "vadd"]) == 0
+    out = capsys.readouterr().out
+    assert "Tile utilization" in out
+    assert "Stall attribution" in out
+    assert "waiting_operand" in out
+    assert "GT" in out and "E15" in out
+
+
+def test_inspect_json(capsys):
+    assert main(["inspect", "vadd", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["cycles"] > 0
+    assert sum(data["tiles"]["E0"].values()) == data["cycles"]
+
+
+def test_inspect_nuca_reports_memory(capsys):
+    assert main(["inspect", "vadd", "--mem", "nuca"]) == 0
+    out = capsys.readouterr().out
+    assert "NUCA:" in out
+
+
+def test_inspect_perfetto_export(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    assert main(["inspect", "vadd", "--perfetto", str(path)]) == 0
+    doc = json.loads(path.read_text())
+    assert check_trace(doc) == []

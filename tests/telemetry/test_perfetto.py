@@ -1,0 +1,67 @@
+"""Perfetto exporter: valid trace-event JSON with monotonic nesting."""
+
+import json
+
+from repro.compiler import compile_tir
+from repro.telemetry.check import check_trace, main as check_main
+from repro.telemetry.perfetto import build_trace, export_perfetto
+from repro.telemetry.recorder import TelemetrySummary
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload
+
+
+def _recorder(name="qr", **overrides):
+    program = compile_tir(get_workload(name), level="hand").program
+    proc = TripsProcessor(program, config=TripsConfig(**overrides),
+                          telemetry=True)
+    proc.run()
+    return proc.tel
+
+
+def test_qr_trace_is_clean():
+    """The acceptance workload: many flushes, fast-forwards, traffic."""
+    doc = build_trace(_recorder("qr"))
+    assert check_trace(doc) == []
+    events = doc["traceEvents"]
+    assert len(events) > 100
+    phases = {e["ph"] for e in events}
+    assert phases == {"X", "C", "M"}
+    # 1 cycle = 1 us: every span sits inside the run
+    cycles = max(e["ts"] + e.get("dur", 0) for e in events
+                 if e["ph"] != "M")
+    assert cycles > 0
+
+
+def test_nuca_trace_has_memory_counters():
+    doc = build_trace(_recorder("vadd", perfect_l2=False))
+    assert check_trace(doc) == []
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "C"}
+    assert "NUCA in-flight" in names
+    assert any(name.startswith("OCN q") for name in names)
+
+
+def test_export_and_cli_check(tmp_path):
+    path = tmp_path / "qr.json"
+    doc = export_perfetto(_recorder("qr"), str(path))
+    on_disk = json.loads(path.read_text())
+    assert on_disk == doc
+    assert check_main([str(path)]) == 0
+
+
+def test_cli_check_rejects_malformed(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"traceEvents": [
+        {"ph": "X", "name": "a", "ts": 0, "dur": 10, "pid": 1, "tid": 1},
+        {"ph": "X", "name": "b", "ts": 5, "dur": 10, "pid": 1, "tid": 1},
+    ]}))
+    assert check_trace(json.loads(path.read_text())) != []
+    assert check_main([str(path)]) == 1
+
+
+def test_summary_json_round_trip():
+    summary = _recorder("qr").summary()
+    data = summary.to_dict()
+    assert json.loads(json.dumps(data)) == data
+    assert TelemetrySummary.from_dict(
+        json.loads(json.dumps(data))).to_dict() == data

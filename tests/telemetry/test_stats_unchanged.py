@@ -1,0 +1,44 @@
+"""Telemetry must never change what it observes.
+
+``telemetry=None`` (the default) must produce byte-identical
+``ProcStats`` to a telemetry-on run of the same program: every probe
+site is behind a single ``if self.tel is not None`` and records into
+side state only.  This is the acceptance gate the telemetry-smoke CI
+job enforces.
+"""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload
+
+CASES = [("vadd", "hand"), ("sha", "hand"), ("qr", "hand"),
+         ("genalg", "hand"), ("tblook01", "hand"), ("mcf", "tcc")]
+
+
+def _stats(program, telemetry, **overrides):
+    proc = TripsProcessor(program, config=TripsConfig(**overrides),
+                          telemetry=telemetry)
+    return proc.run().to_dict()
+
+
+@pytest.mark.parametrize("name,level", CASES,
+                         ids=[f"{n}-{lv}" for n, lv in CASES])
+def test_procstats_identical_with_telemetry(name, level):
+    program = compile_tir(get_workload(name), level=level).program
+    assert _stats(program, None) == _stats(program, True)
+
+
+@pytest.mark.parametrize("name", ["vadd", "sha"])
+def test_procstats_identical_with_telemetry_nuca(name):
+    program = compile_tir(get_workload(name), level="hand").program
+    assert _stats(program, None, perfect_l2=False) == \
+        _stats(program, True, perfect_l2=False)
+
+
+def test_procstats_identical_with_telemetry_slow_engine():
+    program = compile_tir(get_workload("qr"), level="hand").program
+    assert _stats(program, None, fast_path=False) == \
+        _stats(program, True, fast_path=False)

@@ -1,0 +1,59 @@
+"""Trace collection must be engine-invariant.
+
+``trace=True`` runs on the fast-path engine must record *identical*
+event streams to the ``fast_path=False`` escape hatch: every InstEvent
+(timestamps, release tuples, memory-latency splits) and every
+BlockEvent (lifecycle timestamps, causes, outcomes).  This is stronger
+than the ProcStats equivalence of ``test_fast_path.py`` — it pins the
+per-instruction microarchitectural history the critical-path analyzer
+consumes.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload
+
+CASES = [("vadd", "hand"), ("sha", "hand"), ("qr", "hand"),
+         ("genalg", "hand"), ("tblook01", "hand"), ("mcf", "tcc")]
+
+
+def _trace(program, **overrides):
+    proc = TripsProcessor(program, config=TripsConfig(**overrides),
+                          trace=True)
+    proc.run()
+    return proc.trace
+
+
+def _assert_traces_equal(fast, slow):
+    assert fast.final_block_uid == slow.final_block_uid
+    assert set(fast.blocks) == set(slow.blocks)
+    for uid, fast_block in fast.blocks.items():
+        assert asdict(fast_block) == asdict(slow.blocks[uid]), \
+            f"BlockEvent {uid} diverges"
+    assert set(fast.insts) == set(slow.insts)
+    for key, fast_event in fast.insts.items():
+        assert asdict(fast_event) == asdict(slow.insts[key]), \
+            f"InstEvent {key} diverges"
+
+
+@pytest.mark.parametrize("name,level", CASES,
+                         ids=[f"{n}-{lv}" for n, lv in CASES])
+def test_trace_identical_both_engines(name, level):
+    program = compile_tir(get_workload(name), level=level).program
+    fast = _trace(program, fast_path=True)
+    slow = _trace(program, fast_path=False)
+    _assert_traces_equal(fast, slow)
+
+
+@pytest.mark.parametrize("name", ["vadd", "sha"])
+def test_trace_identical_both_engines_nuca(name):
+    """NUCA runs fill InstEvent.mem_* from the detailed memory path."""
+    program = compile_tir(get_workload(name), level="hand").program
+    fast = _trace(program, fast_path=True, perfect_l2=False)
+    slow = _trace(program, fast_path=False, perfect_l2=False)
+    _assert_traces_equal(fast, slow)
