@@ -24,6 +24,7 @@ Categories (the columns of Table 3):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -77,6 +78,14 @@ class _Walker:
         self.trace = trace
         self.report = report
         self.steps = 0
+        # committed blocks indexed once in seq order: predecessor lookups
+        # during the walk become a bisect instead of a scan over every
+        # traced block (the walk visits O(blocks) commit edges, so the
+        # naive scan was quadratic in run length)
+        committed = sorted((b.seq, b) for b in trace.blocks.values()
+                           if b.outcome == "committed")
+        self._committed_seqs = [seq for seq, _b in committed]
+        self._committed_blocks = [b for _seq, b in committed]
 
     # Each visit method returns the next (kind, ...) hop or None (done).
     def walk(self) -> None:
@@ -124,12 +133,8 @@ class _Walker:
         return ("complete", block)
 
     def _previous_committed(self, block: BlockEvent) -> Optional[BlockEvent]:
-        best = None
-        for other in self.trace.blocks.values():
-            if other.outcome == "committed" and other.seq < block.seq:
-                if best is None or other.seq > best.seq:
-                    best = other
-        return best
+        i = bisect_left(self._committed_seqs, block.seq)
+        return self._committed_blocks[i - 1] if i else None
 
     def _from_complete(self, block: BlockEvent):
         """Completion = last output + GSN/DSN signalling to the GT."""

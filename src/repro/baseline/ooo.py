@@ -123,18 +123,41 @@ class _Tournament:
 
 
 class _SlotTable:
-    """Earliest-cycle-with-free-slot finder for a W-wide resource."""
+    """Earliest-cycle-with-free-slot finder for a W-wide resource.
+
+    The issue-side tables (int/fp/mem) see arbitrary ``earliest``
+    requests — operand readiness moves backwards between neighbouring
+    instructions — so they keep the sparse per-cycle dict.  Fetch and
+    commit request monotonically non-decreasing cycles and use the
+    counter-pair fast path (:meth:`reserve_mono`): once the cursor moves
+    past a cycle, that cycle is either full or can never be requested
+    again, so a (cycle, used) pair replaces the dict probe loop.
+    """
 
     def __init__(self, width: int):
         self.width = width
         self.used: Dict[int, int] = {}
+        self._cur = -1
+        self._n = 0
 
     def reserve(self, earliest: int) -> int:
         t = earliest
-        while self.used.get(t, 0) >= self.width:
+        used = self.used
+        while used.get(t, 0) >= self.width:
             t += 1
-        self.used[t] = self.used.get(t, 0) + 1
+        used[t] = used.get(t, 0) + 1
         return t
+
+    def reserve_mono(self, earliest: int) -> int:
+        if earliest > self._cur:
+            self._cur = earliest
+            self._n = 1
+        elif self._n >= self.width:
+            self._cur += 1
+            self._n = 1
+        else:
+            self._n += 1
+        return self._cur
 
 
 class OooCore:
@@ -159,91 +182,133 @@ class OooCore:
         commit_slots = _SlotTable(cfg.commit_width)
         fetch_slots = _SlotTable(cfg.fetch_width)
 
-        reg_ready = [0] * 64
-        reg_cluster = [0] * 64           # which cluster produced the value
-        store_visible: Dict[int, int] = {}   # 8-byte granule -> data time
-        commit_t: List[int] = []
-        fetch_floor = 0
-
-        for i, rec in enumerate(stream):
-            inst = rec.inst
-            fetch = fetch_slots.reserve(fetch_floor)
-            dispatch = fetch + cfg.frontend_depth
-            if len(commit_t) >= cfg.rob_entries:
-                dispatch = max(dispatch, commit_t[-cfg.rob_entries])
-
-            # 21264-style clustering: integer instructions steer to one of
-            # two clusters; consuming a value produced by the other
-            # cluster costs an extra bypass cycle
-            cluster = i & 1
-            ready = dispatch
-
-            def src_ready(reg: int) -> int:
-                t = reg_ready[reg]
-                if cfg.clustered and reg_cluster[reg] != cluster and t > 0:
-                    t += cfg.cluster_penalty
-                return t
-
-            if inst.ra >= 0:
-                ready = max(ready, src_ready(inst.ra))
-            if inst.rb is not None and inst.rb >= 0:
-                ready = max(ready, src_ready(inst.rb))
-
+        # per-static-instruction wakeup descriptors, indexed by the
+        # static instruction index the stream already carries: operand
+        # registers, the functional-unit class, and the fixed latency,
+        # so the replay loop does no string compares or property calls
+        K_LD, K_ST, K_FP, K_INT = 0, 1, 2, 3
+        descs = []
+        for inst in program.insts:
             op = inst.op
-            if op in ("ld", "st"):
-                if op == "ld":
-                    for g in _granules(rec.address, inst.size):
-                        ready = max(ready, store_visible.get(g, 0))
-                issue = mem_slots.reserve(ready)
-                if op == "ld":
-                    if cache.lookup(rec.address):
-                        stats.l1d_hits += 1
-                        latency = cfg.l1_hit_cycles
-                    else:
-                        stats.l1d_misses += 1
-                        latency = cfg.l1_hit_cycles + cfg.l2_hit_cycles
-                        cache.fill(rec.address)
-                    wb = issue + latency
-                else:
-                    wb = issue + 1
-                    cache.fill(rec.address)
-                    for g in _granules(rec.address, inst.size):
-                        store_visible[g] = wb
+            ra = inst.ra if inst.ra >= 0 else -1
+            rb = inst.rb if inst.rb is not None and inst.rb >= 0 else -1
+            if op == "ld":
+                kind, latency = K_LD, 0
+            elif op == "st":
+                kind, latency = K_ST, 1
             elif inst.is_fp:
-                issue = fp_slots.reserve(ready)
+                kind = K_FP
                 latency = cfg.fp_div_latency if op == "fdiv" \
                     else cfg.fp_latency
-                wb = issue + latency
             else:
-                issue = int_slots.reserve(ready)
+                kind = K_INT
                 if op == "mul":
                     latency = cfg.int_mul_latency
                 elif op in ("div", "rem"):
                     latency = cfg.int_div_latency
                 else:
                     latency = 1
-                wb = issue + latency
+            ctl = 1 if op in ("bz", "bnz") else (2 if op == "jmp" else 0)
+            descs.append((kind, latency, ra, rb, inst.rd, inst.size, ctl))
 
-            if inst.rd >= 0:
-                reg_ready[inst.rd] = wb
-                reg_cluster[inst.rd] = cluster
+        reg_ready = [0] * 64
+        reg_cluster = [0] * 64           # which cluster produced the value
+        store_visible: Dict[int, int] = {}   # 8-byte granule -> data time
+        commit_t: List[int] = []
+        fetch_floor = 0
+
+        clustered = cfg.clustered
+        cluster_penalty = cfg.cluster_penalty
+        frontend_depth = cfg.frontend_depth
+        rob_entries = cfg.rob_entries
+        l1_hit = cfg.l1_hit_cycles
+        l1_miss = cfg.l1_hit_cycles + cfg.l2_hit_cycles
+        reserve_fetch = fetch_slots.reserve_mono
+        reserve_commit = commit_slots.reserve_mono
+        reserve_int = int_slots.reserve
+        reserve_fp = fp_slots.reserve
+        reserve_mem = mem_slots.reserve
+        sv_get = store_visible.get
+        prev_commit = 0
+
+        for i, rec in enumerate(stream):
+            kind, latency, ra, rb, rd, size, ctl = descs[rec.index]
+            fetch = reserve_fetch(fetch_floor)
+            ready = fetch + frontend_depth
+            if i >= rob_entries:
+                rob_gate = commit_t[i - rob_entries]
+                if rob_gate > ready:
+                    ready = rob_gate
+
+            # 21264-style clustering: integer instructions steer to one of
+            # two clusters; consuming a value produced by the other
+            # cluster costs an extra bypass cycle
+            cluster = i & 1
+            if ra >= 0:
+                t = reg_ready[ra]
+                if clustered and t > 0 and reg_cluster[ra] != cluster:
+                    t += cluster_penalty
+                if t > ready:
+                    ready = t
+            if rb >= 0:
+                t = reg_ready[rb]
+                if clustered and t > 0 and reg_cluster[rb] != cluster:
+                    t += cluster_penalty
+                if t > ready:
+                    ready = t
+
+            if kind == K_INT:
+                wb = reserve_int(ready) + latency
+            elif kind == K_LD:
+                address = rec.address
+                for g in range(address >> 3, (address + size - 1 >> 3) + 1):
+                    t = sv_get(g, 0)
+                    if t > ready:
+                        ready = t
+                issue = reserve_mem(ready)
+                if cache.lookup(address):
+                    stats.l1d_hits += 1
+                    wb = issue + l1_hit
+                else:
+                    stats.l1d_misses += 1
+                    wb = issue + l1_miss
+                    cache.fill(address)
+            elif kind == K_ST:
+                address = rec.address
+                wb = reserve_mem(ready) + 1
+                cache.fill(address)
+                for g in range(address >> 3, (address + size - 1 >> 3) + 1):
+                    store_visible[g] = wb
+            else:
+                wb = reserve_fp(ready) + latency
+
+            if rd >= 0:
+                reg_ready[rd] = wb
+                reg_cluster[rd] = cluster
 
             # control flow: redirects and mispredicts gate later fetch
-            if op in ("bz", "bnz"):
-                stats.branches += 1
-                predicted = bpred.predict(rec.index)
-                bpred.update(rec.index, rec.taken)
-                if predicted != rec.taken:
-                    stats.mispredicts += 1
-                    fetch_floor = max(fetch_floor,
-                                      wb + cfg.mispredict_penalty)
-                elif rec.taken:
-                    fetch_floor = max(fetch_floor, fetch + cfg.taken_bubble)
-            elif op == "jmp":
-                fetch_floor = max(fetch_floor, fetch + cfg.taken_bubble)
+            if ctl:
+                if ctl == 1:
+                    stats.branches += 1
+                    predicted = bpred.predict(rec.index)
+                    bpred.update(rec.index, rec.taken)
+                    if predicted != rec.taken:
+                        stats.mispredicts += 1
+                        t = wb + cfg.mispredict_penalty
+                        if t > fetch_floor:
+                            fetch_floor = t
+                    elif rec.taken:
+                        t = fetch + cfg.taken_bubble
+                        if t > fetch_floor:
+                            fetch_floor = t
+                else:
+                    t = fetch + cfg.taken_bubble
+                    if t > fetch_floor:
+                        fetch_floor = t
 
-            prev_commit = commit_t[-1] if commit_t else 0
-            commit_t.append(commit_slots.reserve(max(wb, prev_commit)))
+            prev_commit = reserve_commit(
+                wb if wb > prev_commit else prev_commit)
+            commit_t.append(prev_commit)
 
         stats.cycles = (commit_t[-1] + 1) if commit_t else 0
         return stats

@@ -68,7 +68,9 @@ class TripsChip:
         self.memory = BackingStore()
         self.sysmem = SecondaryMemory(
             SysMemConfig(mode=memory_mode, dram_cycles=config.dram_cycles,
-                         active_set=config.fast_path),
+                         active_set=config.fast_path,
+                         express=config.fast_path
+                         and config.express_routing),
             backing=self.memory)
         self.max_cycles = max_cycles
 
@@ -164,7 +166,7 @@ class TripsChip:
                 if core.tel is not None:
                     core.tel.account_skip(core.cycle, target)
                 core.cycle = target
-                core.opn.cycle_count = target
+                core.opn.fast_forward(target)
         self.sysmem.fast_forward(target)
         self.cycle = target
 

@@ -64,8 +64,25 @@ def main(argv=None) -> int:
                          help="best-of-N timing per engine (default 2)")
     bench_p.add_argument("--out", default="BENCH_engine.json", metavar="FILE",
                          help="JSON report path (default BENCH_engine.json)")
+    bench_p.add_argument("--baseline", default=None, metavar="FILE",
+                         help="earlier BENCH_engine.json to diff against: "
+                         "prints per-case and geomean throughput deltas "
+                         "and exits 1 on a >10%% geomean drop")
     bench_p.add_argument("--json", action="store_true",
                          help="emit the report on stdout as well")
+    prof_p = sub.add_parser(
+        "profile", help="cProfile the simulation loop of one workload")
+    prof_p.add_argument("workload")
+    prof_p.add_argument("--level", default="tcc", choices=["tcc", "hand"])
+    prof_p.add_argument("--mem", default="l2perfect",
+                        choices=["l2perfect", "nuca"],
+                        help="secondary memory model (default l2perfect)")
+    prof_p.add_argument("--top", type=int, default=25, metavar="N",
+                        help="functions per table (default 25)")
+    prof_p.add_argument("--slow", action="store_true",
+                        help="profile the full-scan engine instead")
+    prof_p.add_argument("--sort", default="cumulative",
+                        choices=["cumulative", "tottime", "ncalls"])
     run_p = sub.add_parser("run", help="run one workload on tsim-proc")
     run_p.add_argument("workload")
     run_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
@@ -103,12 +120,20 @@ def main(argv=None) -> int:
         from .bench import run_bench
         report = run_bench(smoke=args.smoke, repeat=args.repeat,
                            workloads=args.workloads or None, out=args.out,
+                           baseline=args.baseline,
                            log=lambda message: print(message,
                                                      file=sys.stderr))
         if args.json:
             print(json.dumps(report, indent=2))
-        if not report["equivalent"]:
+        if not report["equivalent"] \
+                or report.get("baseline_delta", {}).get("regressed"):
             return 1
+    elif args.command == "profile":
+        from .profile import profile_workload
+        print(profile_workload(args.workload, level=args.level,
+                               mem=args.mem, top=args.top,
+                               fast_path=False if args.slow else None,
+                               sort=args.sort))
     elif args.command == "floorplan":
         print(render_floorplan())
     elif args.command == "list":

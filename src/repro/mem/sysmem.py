@@ -20,6 +20,7 @@ physical memory, no L2).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -43,6 +44,12 @@ class SysMemConfig:
     #: False selects the full-scan OCN router loop (escape hatch, mirrors
     #: :attr:`repro.uarch.config.TripsConfig.fast_path`)
     active_set: bool = True
+    #: express OCN routing: conflict-free packets are delivered at their
+    #: computed arrival time via link reservations instead of hop-by-hop
+    #: stepping (mirrors
+    #: :attr:`repro.uarch.config.TripsConfig.express_routing`; only active
+    #: together with ``active_set``)
+    express: bool = True
 
 
 @dataclass
@@ -70,13 +77,20 @@ class SecondaryMemory:
         self.backing = backing if backing is not None else BackingStore()
         self.ocn = WormholeMesh(ROWS, COLS, vcs=self.config.vcs,
                                 queue_depth=2,
-                                active_set=self.config.active_set)
+                                active_set=self.config.active_set,
+                                express=self.config.express
+                                and self.config.active_set)
         # 16 MTs in the two middle columns
         self.mt_coords = [(r, c) for c in (1, 2) for r in range(8)]
         self.mts = [MemoryTile(i, self.config.mt) for i in range(16)]
         self.nts = [NetworkTile(i) for i in range(24)]
         self._responses: Dict[int, List[object]] = {}
-        self._pending_dram: List[Tuple[int, _Request, int]] = []
+        self._resp_count = 0      # total queued responses across ports
+        # min-heap of (done_at, seq, request, mt index); the seq tiebreak
+        # preserves issue order among same-cycle completions, which is all
+        # the fast-forward logic ever lets fall due together
+        self._pending_dram: List[Tuple[int, int, _Request, int]] = []
+        self._dram_seq = 0
         self._parked: List = []
         self.cycle = 0
         self.stats = {"requests": 0, "dram_accesses": 0, "dma_copies": 0}
@@ -139,30 +153,39 @@ class SecondaryMemory:
         out = self._responses.get(port, [])
         if out:
             self._responses[port] = []
+            self._resp_count -= len(out)
         return out
+
+    def has_responses(self) -> bool:
+        """Any response awaiting pickup on any port (cheap poll gate)."""
+        return self._resp_count > 0
 
     def next_work_t(self) -> Optional[int]:
         """Earliest cycle >= ``self.cycle`` with memory-system activity.
 
-        ``self.cycle`` while any packet is parked, in the OCN, or a
-        response awaits pickup; the earliest bank/DRAM completion when
-        requests are only waiting on latency; None when fully drained.
-        Lets a quiescent processor fast-forward straight to the next
-        fill completion instead of stepping an empty OCN.
+        ``self.cycle`` while any packet is parked, queued in an OCN
+        router, or a response awaits pickup; otherwise the earliest of
+        the next express-packet arrival and the next bank/DRAM
+        completion; None when fully drained.  Lets a quiescent processor
+        fast-forward straight to the next memory event instead of
+        stepping an empty OCN.
         """
-        if self._parked or not self.ocn.is_idle():
+        if self._parked or self._resp_count:
             return self.cycle
-        for responses in self._responses.values():
-            if responses:
+        times = []
+        ocn_t = self.ocn.next_event_t()
+        if ocn_t is not None:
+            if ocn_t <= self.cycle:
                 return self.cycle
+            times.append(ocn_t)
         if self._pending_dram:
-            return min(done_at for done_at, _, _ in self._pending_dram)
-        return None
+            times.append(self._pending_dram[0][0])
+        return min(times) if times else None
 
     def fast_forward(self, cycle: int) -> None:
         """Advance the clock over a provably-idle stretch (no stepping)."""
         self.cycle = cycle
-        self.ocn.cycle_count = cycle
+        self.ocn.fast_forward(cycle)
 
     # ------------------------------------------------------------------
     def _inject_retry(self, src, packet) -> None:
@@ -176,14 +199,11 @@ class SecondaryMemory:
         for src, packet in parked:
             self._inject_retry(src, packet)
 
-        # DRAM completions
-        still = []
-        for done_at, req, mt_index in self._pending_dram:
-            if done_at <= self.cycle:
-                self._reply(req, mt_index, self.cycle)
-            else:
-                still.append((done_at, req, mt_index))
-        self._pending_dram = still
+        # bank/DRAM completions that fell due
+        pending_dram = self._pending_dram
+        while pending_dram and pending_dram[0][0] <= self.cycle:
+            _done_at, _seq, req, mt_index = heapq.heappop(pending_dram)
+            self._reply(req, mt_index, self.cycle)
 
         # deliveries at MTs and back at the processor/I/O ports (the
         # pending-set check skips 24 per-coordinate scans on quiet cycles)
@@ -206,15 +226,18 @@ class SecondaryMemory:
                         done = ready + self.config.dram_cycles
                         mt.note_refill(done)
                         self.stats["dram_accesses"] += 1
-                        self._pending_dram.append((done, req, idx))
                     else:
-                        self._pending_dram.append((ready, req, idx))
+                        done = ready
+                    self._dram_seq += 1
+                    heapq.heappush(self._pending_dram,
+                                   (done, self._dram_seq, req, idx))
             for coord in self.PROC_PORTS:
                 if pending is not None and coord not in pending:
                     continue
                 for packet in take(coord):
                     kind, req, _ = packet.payload
                     self._responses.setdefault(req.port, []).append(req.meta)
+                    self._resp_count += 1
         if self.telemetry is not None:
             self.telemetry.note_inflight(self.cycle, len(self._pending_dram))
         self.ocn.step()

@@ -91,6 +91,23 @@ class TripsConfig:
     #: is the escape hatch that forces the original step-every-cycle loop.
     fast_path: bool = True
 
+    #: Express micronet routing: when a packet's full deterministic Y-X
+    #: path is conflict-free, deliver it at its computed arrival time via
+    #: a per-link reservation table instead of simulating every hop
+    #: (``uarch/mesh.py``; falls back to hop-by-hop on any window
+    #: conflict).  Cycle-for-cycle identical either way
+    #: (tests/uarch/test_mesh_express.py); only active under
+    #: ``fast_path``.
+    express_routing: bool = True
+
+    #: Event-wheel scheduling: advance the chip straight to the earliest
+    #: per-component wakeup (tile, router, LSQ, bank, DRAM) instead of
+    #: requiring full quiescence before a jump.  Composes with express
+    #: routing (in-flight reserved packets are timed events, not per-cycle
+    #: work).  Identical stats either way; only active under
+    #: ``fast_path``.
+    event_wheel: bool = True
+
     def with_overrides(self, **kwargs) -> "TripsConfig":
         """A copy with some fields replaced (ablation helper)."""
         return replace(self, **kwargs)

@@ -216,9 +216,12 @@ class TripsProcessor:
             self.regs[reg] = value & (2**64 - 1)
 
         self._fast = config.fast_path
+        self._wheel = config.fast_path and config.event_wheel
         self.opn = WormholeMesh(5, 5, queue_depth=config.opn_router_depth,
                                 lanes=config.opn_links_per_hop,
-                                active_set=config.fast_path)
+                                active_set=config.fast_path,
+                                express=config.fast_path
+                                and config.express_routing)
         # detailed NUCA secondary memory (only stepped when L2 is modelled)
         self.sysmem_port_base = sysmem_port_base
         self._owns_sysmem = sysmem is None
@@ -230,11 +233,24 @@ class TripsProcessor:
             from ..mem.sysmem import SecondaryMemory, SysMemConfig
             self.sysmem = SecondaryMemory(
                 SysMemConfig(dram_cycles=config.dram_cycles,
-                             active_set=config.fast_path),
+                             active_set=config.fast_path,
+                             express=config.fast_path
+                             and config.express_routing),
                 backing=self.memory)
         self.ets = [ExecTile(self, i) for i in range(16)]
         self.rts = [RegTile(self, b) for b in range(4)]
         self.dts = [DataTile(self, d) for d in range(4)]
+        # coord -> (visit rank, tile kind, tile) in the fixed ET -> RT ->
+        # DT -> GT drain order; lets _deliver_packets dispatch straight
+        # from the pending set instead of 25 membership probes
+        self._deliver_map: Dict[Tuple[int, int], Tuple[int, int, object]] = {}
+        for rank, et in enumerate(self.ets):
+            self._deliver_map[et.coord] = (rank, 0, et)
+        for rank, rt in enumerate(self.rts):
+            self._deliver_map[rt.coord] = (16 + rank, 1, rt)
+        for rank, dt in enumerate(self.dts):
+            self._deliver_map[dt.coord] = (20 + rank, 2, dt)
+        self._deliver_map[self.GT_COORD] = (24, 3, None)
         self.icache = [CacheBank(config.l1i_bank_kb * 1024, config.l1i_assoc,
                                  128) for _ in range(5)]
         self.predictor = NextBlockPredictor(config.predictor)
@@ -245,8 +261,11 @@ class TripsProcessor:
         # the bench harness, the fast-path equivalence tests — skips the
         # decode warmup entirely
         self._decoded: Dict[int, DecodedBlock] = _decode_cache_for(program)
-        self._events: List[Tuple[int, int, object]] = []
-        self._event_seq = 0
+        # timed-event calendar: per-cycle buckets (insertion order == the
+        # old (cycle, seq) heap order) plus a heap of distinct due times —
+        # an append per event instead of a tuple heap-push
+        self._ev_buckets: Dict[int, List[object]] = {}
+        self._ev_times: List[int] = []
         self.trace: Optional[Trace] = trace if isinstance(trace, Trace) \
             else (Trace() if trace else None)
 
@@ -300,11 +319,15 @@ class TripsProcessor:
         return self.config.l2_hit_cycles     # detailed NUCA path: repro.mem
 
     def schedule(self, at_cycle: int, fn) -> None:
-        self._event_seq += 1
         floor = self.cycle + 1
         if at_cycle < floor:
             at_cycle = floor
-        heapq.heappush(self._events, (at_cycle, self._event_seq, fn))
+        bucket = self._ev_buckets.get(at_cycle)
+        if bucket is None:
+            self._ev_buckets[at_cycle] = [fn]
+            heapq.heappush(self._ev_times, at_cycle)
+        else:
+            bucket.append(fn)
 
     def older_blocks(self, seq: int):
         """In-flight blocks older than ``seq``, youngest first."""
@@ -331,10 +354,17 @@ class TripsProcessor:
                     f"cycle budget {cfg.max_cycles} exhausted "
                     f"(pc window: {[hex(b.addr) for b in self.window]})")
             self.step()
-            # cheap pre-gate: with operands still in flight the core can
-            # never be quiescent, so skip the full next_work_t() scan
-            if fast and not self.halted and self.opn.is_idle():
-                self._try_fast_forward()
+            # cheap pre-gate: with operands in router queues the core can
+            # never be quiescent, so skip the full next_work_t() scan.
+            # Under the event wheel an express packet in reserved flight
+            # is a timed event, not per-cycle work, so only queued
+            # packets and pending pickups block the jump.
+            if fast and not self.halted:
+                if self._wheel:
+                    if self.opn.quiet():
+                        self._try_fast_forward()
+                elif self.opn.is_idle():
+                    self._try_fast_forward()
         return self.finalize_stats()
 
     # ------------------------------------------------------------------
@@ -353,20 +383,40 @@ class TripsProcessor:
         no-op for all tiles, both networks and the GT.
         """
         t = self.cycle
-        if not self.opn.is_idle():
-            return t
+        wheel = self._wheel
+        if wheel:
+            # per-component calendar: express packets in reserved flight
+            # wake the mesh at their arrival cycle, deferred loads at the
+            # cycle their gating stores are all within DSN reach
+            opn_t = self.opn.next_event_t()
+            if opn_t is not None and opn_t <= t:
+                return t
+        else:
+            opn_t = None
+            if not self.opn.is_idle():
+                return t
         for et in self.ets:
-            if not et.is_idle():
+            if et.candidates or et.outbox:       # inlined is_idle()
                 return t
         for rt in self.rts:
-            if not rt.is_idle():
-                return t
-        for dt in self.dts:
-            if not dt.is_idle():
+            if rt.read_requests or rt.outbox:    # inlined is_idle()
                 return t
         times = []
-        if self._events:
-            times.append(self._events[0][0])
+        if opn_t is not None:
+            times.append(opn_t)
+        if wheel:
+            for dt in self.dts:
+                work = dt.next_work_t(t)
+                if work is not None:
+                    if work <= t:
+                        return t
+                    times.append(work)
+        else:
+            for dt in self.dts:
+                if dt.requests or dt.deferred or dt.outbox:  # is_idle()
+                    return t
+        if self._ev_times:
+            times.append(self._ev_times[0])
         gt = self._gt_next_work_t(t)
         if gt is not None:
             times.append(gt)
@@ -429,6 +479,9 @@ class TripsProcessor:
         stepped or skipped.
         """
         t = self.cycle
+        times = self._ev_times
+        if times and times[0] <= t:
+            return      # a timed event is due this very cycle: no skip
         target = self.next_work_t()
         if target is None:
             target = self.config.max_cycles
@@ -442,7 +495,7 @@ class TripsProcessor:
             # to the cycle count
             self.tel.account_skip(t, target)
         self.cycle = target
-        self.opn.cycle_count = target
+        self.opn.fast_forward(target)
         if self.sysmem is not None and self._owns_sysmem:
             self.sysmem.fast_forward(target)
 
@@ -458,11 +511,16 @@ class TripsProcessor:
 
     def step(self) -> None:
         t = self.cycle
-        # phase A: timed events (completions, dispatch arrivals, commits)
-        events = self._events
-        while events and events[0][0] <= t:
-            fn = heapq.heappop(events)[2]
-            fn()
+        # phase A: timed events (completions, dispatch arrivals, commits).
+        # An executing event can only schedule at cycle+1 or later, so the
+        # bucket under iteration is never appended to mid-drain.
+        times = self._ev_times
+        if times and times[0] <= t:
+            buckets = self._ev_buckets
+            heappop = heapq.heappop
+            while times and times[0] <= t:
+                for fn in buckets.pop(heappop(times)):
+                    fn()
         # phase B: operand network deliveries
         if not self._fast or self.opn.delivery_pending:
             self._deliver_packets(t)
@@ -485,7 +543,8 @@ class TripsProcessor:
                 et.tick(t)
             for dt in self.dts:
                 dt.tick(t)
-        self._gt_tick(t)
+        self._try_fetch(t)
+        self._try_commit(t)
         # phase D: network advance (OPN, and the OCN when owned)
         self.opn.step()
         if self.sysmem is not None:
@@ -498,6 +557,8 @@ class TripsProcessor:
 
     def poll_sysmem(self) -> None:
         """Collect OCN responses for this core's ports."""
+        if not self.sysmem.has_responses():
+            return
         for dt in self.dts:
             for fn in self.sysmem.take_responses(
                     self.sysmem_port_base + dt.index):
@@ -505,30 +566,33 @@ class TripsProcessor:
 
     def _deliver_packets(self, t: int) -> None:
         if self._fast:
-            # The pending set (rather than 25 take_delivered calls) keeps
-            # the drain proportional to actual traffic; the ET -> RT ->
-            # DT -> GT visit order is the same as always.
+            # Dispatch straight from the pending set (rather than 25
+            # membership probes) — sorting by the precomputed rank keeps
+            # the ET -> RT -> DT -> GT visit order the same as always.
             pending = self.opn.delivery_pending
             if not pending:
                 return
             take = self.opn.take_delivered
-            for et in self.ets:
-                if et.coord in pending:
-                    for pkt in take(et.coord):
-                        et.deliver_operand(pkt.payload, t, pkt.hops,
-                                           pkt.qcycles)
-            for rt in self.rts:
-                if rt.coord in pending:
-                    for pkt in take(rt.coord):
-                        rt.deliver_write(pkt.payload, t)
-            for dt in self.dts:
-                if dt.coord in pending:
-                    for pkt in take(dt.coord):
-                        dt.deliver_request(pkt.payload, pkt.hops,
-                                           pkt.qcycles, t)
-            if self.GT_COORD in pending:
-                for pkt in take(self.GT_COORD):
-                    self._on_branch(pkt.payload, t)
+            dmap = self._deliver_map
+            if len(pending) == 1:
+                visits = (dmap[next(iter(pending))],)
+            else:
+                visits = sorted(dmap[coord] for coord in pending)
+            for _rank, kind, tile in visits:
+                if kind == 0:
+                    for pkt in take(tile.coord):
+                        tile.deliver_operand(pkt.payload, t, pkt.hops,
+                                             pkt.qcycles)
+                elif kind == 1:
+                    for pkt in take(tile.coord):
+                        tile.deliver_write(pkt.payload, t)
+                elif kind == 2:
+                    for pkt in take(tile.coord):
+                        tile.deliver_request(pkt.payload, pkt.hops,
+                                             pkt.qcycles, t)
+                else:
+                    for pkt in take(self.GT_COORD):
+                        self._on_branch(pkt.payload, t)
             return
         # escape hatch: the original engine's unconditional coordinate scan
         for et in self.ets:
@@ -547,10 +611,6 @@ class TripsProcessor:
     # ------------------------------------------------------------------
     # GT: fetch
     # ------------------------------------------------------------------
-    def _gt_tick(self, t: int) -> None:
-        self._try_fetch(t)
-        self._try_commit(t)
-
     def tel_gt_state(self, t: int) -> str:
         """Telemetry classification of the GT for stepped cycle ``t``."""
         if self._tel_fetch_t == t or self._tel_commit_t == t:
@@ -1009,6 +1069,31 @@ class TripsProcessor:
                 if arr_t + abs(src - dt_index) > t:
                     return False
         return True
+
+    def deferred_wake_t(self, key: Tuple[int, int],
+                        dt_index: int) -> Optional[int]:
+        """Earliest cycle :meth:`prior_stores_arrived` can become true for
+        ``key`` at DT ``dt_index``, or None while a gating store has not
+        yet arrived anywhere (its eventual delivery wakes the mesh, so the
+        event wheel needs no estimate for it)."""
+        seq, lsid = key
+        wake = 0
+        for block in self.window:
+            if block.seq > seq:
+                break
+            if block.seq in self.committed_seqs:
+                continue
+            for s_lsid in block.decoded.store_lsids:
+                if (block.seq, s_lsid) >= key:
+                    continue
+                arrival = self.store_arrivals.get((block.seq, s_lsid))
+                if arrival is None:
+                    return None
+                arr_t, src = arrival
+                need = arr_t + abs(src - dt_index)
+                if need > wake:
+                    wake = need
+        return wake
 
     # ------------------------------------------------------------------
     def architectural_state(self) -> Tuple[List[int], BackingStore]:

@@ -176,6 +176,12 @@ class ExecTile:
 
         ``release`` records the last-arriving requirement, which is what
         the critical-path analyzer walks backwards along.
+
+        Candidates carry ``(seq, slot, uid, station)`` so issue selection
+        is a single ``min()`` over the set — the (seq, slot) prefix is the
+        age-ordered priority and is unique, so the station itself is
+        never compared.  Commit and flush filter the set by uid, which
+        keeps every member's station live and ready.
         """
         if station.ready():
             if station.waiting:
@@ -183,33 +189,32 @@ class ExecTile:
                 self._tel_waiting -= 1
             station.release = release
             station.ready_t = self.proc.cycle
-            self.candidates.add(key)
+            self.candidates.add((station.seq, key[1], key[0], station))
 
     # -- issue ------------------------------------------------------------
     def tick(self, t: int) -> None:
         if self.outbox:
             self._drain_outbox()
-        if not self.candidates:
+        candidates = self.candidates
+        if not candidates:
             return
-        best_key = None
-        best_order = None
-        best_station = None
-        for key in self.candidates:
-            per_block = self.stations.get(key[0])
-            station = per_block.get(key[1]) if per_block else None
-            if station is None or not station.ready():
-                continue
-            if station.inst.opcode is Opcode.DIVS and self.div_busy_until > t:
-                continue
-            order = (station.seq, key[1])
-            if best_order is None or order < best_order:
-                best_order = order
-                best_key = key
-                best_station = station
-        if best_key is None:
-            return
-        self.candidates.discard(best_key)
-        station = best_station
+        best = min(candidates)
+        station = best[3]
+        if station.inst.opcode is Opcode.DIVS and self.div_busy_until > t:
+            # rare structural hazard: the oldest candidate is a divide
+            # waiting on the busy divider; issue the next-oldest
+            # non-divide instead (the original scan's behaviour)
+            best = None
+            for cand in sorted(candidates):
+                if cand[3].inst.opcode is Opcode.DIVS:
+                    continue
+                best = cand
+                break
+            if best is None:
+                return
+            station = best[3]
+        candidates.discard(best)
+        best_key = (best[2], best[1])
         inst = station.inst
         # Predicate check at issue: mismatch kills the instruction.
         if inst.pred is not None:
@@ -332,8 +337,11 @@ class ExecTile:
 
     def _send(self, msg, dest, t) -> None:
         packet = Packet(src=self.coord, dest=dest, payload=msg)
-        self.outbox.append(packet)
-        self._drain_outbox()
+        if self.outbox:
+            self.outbox.append(packet)
+            self._drain_outbox()
+        elif not self.proc.opn.inject(self.coord, packet):
+            self.outbox.append(packet)
 
     def _drain_outbox(self) -> None:
         while self.outbox:
@@ -350,8 +358,8 @@ class ExecTile:
                     if station.waiting:
                         self._tel_waiting -= 1
         if self.candidates:
-            self.candidates = {k for k in self.candidates
-                               if k[0] not in uids}
+            self.candidates = {c for c in self.candidates
+                               if c[2] not in uids}
         if self.outbox:
             self.outbox = deque(p for p in self.outbox
                                 if p.payload.block_uid not in uids)
@@ -633,6 +641,36 @@ class DataTile:
         """
         return not self.requests and not self.deferred and not self.outbox
 
+    def next_work_t(self, t: int) -> Optional[int]:
+        """Event-wheel wakeup: the earliest cycle this DT can act.
+
+        ``t`` while requests or outbox packets demand per-cycle service;
+        with only deferred loads pending, the earliest cycle a deferral's
+        gating stores could all be within DSN reach (store arrival time
+        plus inter-DT hop distance — the ``prior_stores_arrived`` gate).
+        A deferral whose gating store has not even arrived yet contributes
+        no wakeup: the store's own delivery re-opens the mesh, and if it
+        never comes the slow path's retries would be no-ops too.
+        """
+        if self.requests or self.outbox:
+            return t
+        if not self.deferred:
+            return None
+        proc = self.proc
+        live = proc.live_uids
+        wake = None
+        for msg, _hops, _queue in self.deferred:
+            if msg.block_uid not in live:
+                return t       # stale entry: the next tick drops it
+            work = proc.deferred_wake_t((msg.seq, msg.lsid), self.index)
+            if work is None:
+                continue       # gated on a store still in flight
+            if work <= t:
+                work = t + 1   # this cycle's retry already ran
+            if wake is None or work < wake:
+                wake = work
+        return wake
+
     # -- arrivals ---------------------------------------------------------
     def deliver_request(self, msg: MemRequest, hops: int, queue: int,
                         t: int) -> None:
@@ -825,6 +863,10 @@ class DataTile:
                 state = _tel.CACHE_MISS
             elif self.lsq.is_full():
                 state = _tel.LSQ_FULL
+            elif self.deferred:
+                # the event wheel can skip while a deferral waits on DSN
+                # propagation; those cycles are dependence stalls
+                state = _tel.DEP_DEFERRAL
             else:
                 state = _tel.IDLE
             timeline.add(state, t0, t1)

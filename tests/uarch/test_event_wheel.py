@@ -1,0 +1,86 @@
+"""Event-wheel scheduler equivalence: full-matrix, byte-identical stats.
+
+``TripsConfig.event_wheel`` replaces the per-cycle activity scan with a
+per-component calendar (timed events, express-arrival wakeups, deferred
+loads, DRAM completions).  It must be cycle-for-cycle identical to the
+activity-gated fast engine — which in turn matches the original
+full-scan engine (tests/uarch/test_fast_path.py).  These tests compare
+the complete ``ProcStats`` record across the whole workload matrix, plus
+NUCA, the dual-core chip, and telemetry-on runs where each tile's
+busy + stall + idle taxonomy must still sum exactly to the cycle count.
+"""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.uarch.config import TripsConfig
+from repro.uarch.proc import TripsProcessor
+from repro.workloads import get_workload
+from repro.workloads.registry import HAND_OPTIMIZED, workload_names
+
+_CASES = [(name, "tcc") for name in workload_names()] + \
+         [(name, "hand") for name in workload_names()
+          if name in HAND_OPTIMIZED]
+
+
+def _run(program, telemetry=False, **overrides):
+    proc = TripsProcessor(program, config=TripsConfig(**overrides),
+                          telemetry=telemetry)
+    stats = proc.run()
+    return proc, stats
+
+
+@pytest.mark.parametrize("name,level", _CASES,
+                         ids=[f"{n}-{lv}" for n, lv in _CASES])
+def test_wheel_matches_activity_gated_engine(name, level):
+    program = compile_tir(get_workload(name), level=level).program
+    _, wheel = _run(program, fast_path=True, event_wheel=True)
+    _, gated = _run(program, fast_path=True, event_wheel=False)
+    assert wheel.to_dict() == gated.to_dict()
+
+
+@pytest.mark.parametrize("name", ["vadd", "sha"])
+def test_wheel_matches_under_nuca(name):
+    program = compile_tir(get_workload(name), level="hand").program
+    _, wheel = _run(program, fast_path=True, event_wheel=True,
+                    perfect_l2=False)
+    _, gated = _run(program, fast_path=True, event_wheel=False,
+                    perfect_l2=False)
+    assert wheel.to_dict() == gated.to_dict()
+
+
+def test_wheel_matches_on_dual_core_chip():
+    from repro.chip import TripsChip
+    from repro.tir import Assign, For, TirProgram, V
+
+    p0 = compile_tir(get_workload("vadd"), level="hand",
+                     base=0x1000, data_base=0x100000)
+    prog1 = TirProgram(
+        "adder", scalars={"acc": 0},
+        body=[For("i", 0, 20, 1, [Assign("acc", V("acc") + V("i"))])],
+        outputs=["acc"])
+    p1 = compile_tir(prog1, level="hand", base=0x40000, data_base=0x180000)
+
+    def run_chip(wheel):
+        config = TripsConfig(fast_path=True, event_wheel=wheel)
+        chip = TripsChip(p0.program, p1.program, config=config)
+        stats = chip.run()
+        return ([core.to_dict() for core in stats.per_core],
+                chip.cycle, stats.ocn_requests)
+
+    assert run_chip(True) == run_chip(False)
+
+
+@pytest.mark.parametrize("name", ["vadd", "matrix"])
+def test_wheel_telemetry_taxonomy_still_sums(name):
+    """Fast-forwarded stretches under the wheel are accounted as
+    idle/passive spans: per-tile totals must sum to ProcStats.cycles."""
+    program = compile_tir(get_workload(name), level="hand").program
+    proc, stats = _run(program, telemetry=True, fast_path=True,
+                       event_wheel=True)
+    summary = proc.tel.summary()
+    assert summary.cycles == stats.cycles
+    assert len(summary.tiles) == 25
+    for tile, totals in summary.tiles.items():
+        assert sum(totals.values()) == stats.cycles, \
+            f"{tile}: {totals} != {stats.cycles}"
