@@ -172,9 +172,16 @@ def assemble(text: str, base: int = 0x1000, data_base: int = 0x100000):
             elif directive == ".data":
                 flush(lineno)
                 name = tokens[1]
+                rest = tokens[2:]
+                at = None
+                if rest and rest[0].startswith("@"):
+                    # exact placement (disassembler output): the address
+                    # already encodes whatever alignment produced it
+                    at = _parse_int(rest[0][1:], lineno)
+                    rest = rest[1:]
                 payload = bytes(
-                    _parse_int(tok, lineno) & 0xFF for tok in tokens[2:])
-                data_labels[name] = builder.add_data(payload)
+                    _parse_int(tok, lineno) & 0xFF for tok in rest)
+                data_labels[name] = builder.add_data(payload, at=at)
             elif directive == ".word":
                 flush(lineno)
                 name = tokens[1]

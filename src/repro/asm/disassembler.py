@@ -29,7 +29,7 @@ def disassemble(program: Program) -> str:
         name = f"data_{addr:x}"
         data_names[addr] = name
         byte_list = ", ".join(str(b) for b in payload)
-        lines.append(f".data {name} {byte_list}")
+        lines.append(f".data {name} @{addr:#x} {byte_list}")
 
     for reg, value in sorted(program.initial_regs.items()):
         if value in data_names:

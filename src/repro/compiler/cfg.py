@@ -150,7 +150,9 @@ class _Lowerer:
 
     def _lower_if(self, stmt: If, current: CfgBlock) -> CfgBlock:
         if self.level == "hand" and _simple_arms(stmt.then_body) \
-                and _simple_arms(stmt.else_body):
+                and _simple_arms(stmt.else_body) \
+                and _ifconv_cost(stmt.then_body,
+                                 stmt.else_body) <= IFCONV_COST_LIMIT:
             current.stmts.append(
                 PredRegion(stmt.cond, list(stmt.then_body),
                            list(stmt.else_body)))
@@ -277,6 +279,44 @@ class _Lowerer:
 
 def _simple_arms(stmts: Sequence[Stmt]) -> bool:
     return all(isinstance(s, (Assign, Store)) for s in stmts)
+
+
+#: if-conversion budget, in (over-)estimated body instructions.  A
+#: PredRegion is a single unsplittable statement in block formation, so
+#: a converted region that overflows the 128-instruction block is a hard
+#: compile error; regions costlier than this lower as a branch diamond
+#: instead.  (Large arms are also where predication stops paying off —
+#: both paths' instructions occupy window slots.)
+IFCONV_COST_LIMIT = 64
+
+
+def _expr_cost(e: Expr) -> int:
+    """Conservative instruction count for one expression tree."""
+    if isinstance(e, Const):
+        value = bits_to_int(e.bits) if not e.is_float else e.bits
+        return 1 if -(1 << 15) <= value < (1 << 15) else 3
+    if isinstance(e, Var):
+        return 0
+    if isinstance(e, Load):
+        return 2 + _expr_cost(e.index)
+    if isinstance(e, BinOp):
+        # rem decomposes into sub+mul+div in the dag
+        return (3 if e.op == "rem" else 1) + _expr_cost(e.a) + _expr_cost(e.b)
+    if isinstance(e, UnOp):
+        return 1 + _expr_cost(e.a)
+    return 1
+
+
+def _ifconv_cost(then_body: Sequence[Stmt], else_body: Sequence[Stmt]) -> int:
+    """Estimated body instructions an if-converted region would emit."""
+    total = 0
+    for arm in (then_body, else_body):
+        for s in arm:
+            if isinstance(s, Assign):
+                total += _expr_cost(s.expr) + 2      # phi mov pair
+            else:                                    # Store
+                total += _expr_cost(s.index) + _expr_cost(s.value) + 4
+    return total
 
 
 # ----------------------------------------------------------------------

@@ -26,6 +26,7 @@ from ..isa import (
     Instruction,
     MAX_BODY_INSTS,
     MAX_MEM_OPS,
+    OpClass,
     Opcode,
     OperandKind,
     ReadInstruction,
@@ -54,6 +55,10 @@ GOP = {
     "feq": Opcode.FEQ, "fne": Opcode.FNE, "flt": Opcode.FLT,
     "fle": Opcode.FLE, "fgt": Opcode.FGT, "fge": Opcode.FGE,
 }
+#: FP-class opcodes whose result is nonetheless a 0/1 boolean.
+_BOOL_FP_OPS = frozenset({Opcode.FEQ, Opcode.FNE, Opcode.FLT,
+                          Opcode.FLE, Opcode.FGT, Opcode.FGE})
+
 IOP = {
     "add": Opcode.ADDI, "sub": Opcode.SUBI, "mul": Opcode.MULI,
     "and": Opcode.ANDI, "or": Opcode.ORI, "xor": Opcode.XORI,
@@ -261,6 +266,24 @@ class BlockDag:
             return self._cse_op(IOP[op], (a,), imm=bits_to_int(b.bits))
         return self._cse_op(GOP[op], (a, b))
 
+    def as_pred(self, node: DNode) -> DNode:
+        """``node`` normalized for use as a predicate or branch condition.
+
+        TIR conditions mean "value != 0", but hardware predication tests
+        only bit 0 of the arriving token (``uarch/functional.py``), so a
+        raw value like ``~1`` would take the wrong arm.  Values already
+        known to be 0/1 — test-class and float-compare results, constants
+        — pass through; anything else gets a ``tnei #0``.
+        """
+        if node.bits is not None:
+            return self.const(1 if node.bits & MASK64 else 0)
+        if node.opcode is not None:
+            info = node.opcode.value
+            if info.opclass is OpClass.TEST or \
+                    node.opcode in _BOOL_FP_OPS:
+                return node
+        return self._cse_op(Opcode.TNEI, (node,), imm=0)
+
     def _unop(self, op: str, ea) -> DNode:
         a = self.expr(ea)
         if a.bits is not None:
@@ -361,6 +384,8 @@ class BlockDag:
         """Value that is ``tval`` when cond is 1, else ``fval``."""
         if tval is fval:
             return tval
+        if cond.bits is not None:    # constant condition: fold the merge
+            return tval if cond.bits & 1 else fval
         mov_t = self._new(kind="op", opcode=Opcode.MOV, inputs=(tval,),
                           pred=(cond, True))
         mov_f = self._new(kind="op", opcode=Opcode.MOV, inputs=(fval,),

@@ -209,7 +209,7 @@ def _add_stmt(dag: BlockDag, stmt: Stmt) -> None:
 
 def _add_pred_region(dag: BlockDag, region: PredRegion) -> None:
     """If-converted region: Figure 5a's predication/null-token pattern."""
-    cond = dag.expr(region.cond)
+    cond = dag.as_pred(dag.expr(region.cond))
 
     def run_arm(stmts, polarity: bool) -> Dict[str, object]:
         before = dict(dag.var_values)
@@ -249,7 +249,8 @@ def _close(dag: BlockDag, var_regs, write_vars: Set[str], term) -> None:
     if isinstance(term, Jump):
         dag.branch_jump(term.target)
     elif isinstance(term, CondJump):
-        dag.branch_cond(dag.expr(term.cond), term.if_true, term.if_false)
+        dag.branch_cond(dag.as_pred(dag.expr(term.cond)),
+                        term.if_true, term.if_false)
     elif isinstance(term, Halt):
         dag.branch_halt()
     else:

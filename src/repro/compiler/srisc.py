@@ -70,9 +70,13 @@ class _Emitter:
         if isinstance(e, Var):
             return ("v", e.name, self.var_version.get(e.name, 0))
         if isinstance(e, BinOp):
-            return ("b", e.op, self._expr_key(e.a), self._expr_key(e.b))
+            ka, kb = self._expr_key(e.a), self._expr_key(e.b)
+            # an uncacheable subexpression poisons the whole key — two
+            # different loads must not collapse to one cache entry
+            return None if ka is None or kb is None else ("b", e.op, ka, kb)
         if isinstance(e, UnOp):
-            return ("u", e.op, self._expr_key(e.a))
+            ka = self._expr_key(e.a)
+            return None if ka is None else ("u", e.op, ka)
         return None      # loads etc. are not cacheable
 
     # -- temp pool -------------------------------------------------------

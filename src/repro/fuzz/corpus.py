@@ -1,0 +1,78 @@
+"""The checked-in regression corpus (``tests/fuzz/corpus/``).
+
+Every divergence the fuzzing farm ever finds ends its life here: a
+minimized program plus the oracle checks it once failed, stored as exact
+JSON (:mod:`repro.tir.serialize`).  Tier-1 replays the whole corpus on
+every run — the entries are *fixed* bugs, so replay asserts zero
+divergences; a reappearing divergence is a regression of the original
+fix, caught immediately and attributed by the entry's ``reason``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..tir import TirProgram
+from ..tir.serialize import program_from_dict, program_to_dict
+from .oracle import ALL_CHECKS, Divergence, run_case
+
+#: repo-relative default location (resolved against this file, so it
+#: works from any working directory).
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "fuzz" / "corpus"
+
+
+def entry_to_dict(prog: TirProgram, reason: str,
+                  checks=ALL_CHECKS, nuca: bool = False,
+                  telemetry: bool = False) -> Dict:
+    return {
+        "reason": reason,
+        "checks": list(checks),
+        "nuca": bool(nuca),
+        "telemetry": bool(telemetry),
+        "program": program_to_dict(prog),
+    }
+
+
+def save_entry(name: str, prog: TirProgram, reason: str,
+               checks=ALL_CHECKS, nuca: bool = False,
+               telemetry: bool = False,
+               corpus_dir: Optional[Path] = None) -> Path:
+    """Write one corpus entry; returns the file path."""
+    corpus_dir = Path(corpus_dir) if corpus_dir else CORPUS_DIR
+    corpus_dir.mkdir(parents=True, exist_ok=True)
+    path = corpus_dir / f"{name}.json"
+    entry = entry_to_dict(prog, reason, checks=checks, nuca=nuca,
+                          telemetry=telemetry)
+    path.write_text(json.dumps(entry, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_corpus(corpus_dir: Optional[Path] = None) -> Dict[str, Dict]:
+    """name -> entry dict for every ``*.json`` in the corpus, sorted."""
+    corpus_dir = Path(corpus_dir) if corpus_dir else CORPUS_DIR
+    out: Dict[str, Dict] = {}
+    if not corpus_dir.is_dir():
+        return out
+    for path in sorted(corpus_dir.glob("*.json")):
+        out[path.stem] = json.loads(path.read_text())
+    return out
+
+
+def replay_entry(name: str, entry: Dict) -> List[Divergence]:
+    """Re-run an entry's checks; an empty list means the fix still holds."""
+    prog = program_from_dict(entry["program"])
+    prog.name = name            # report divergences under the corpus name
+    prog.validate()
+    return run_case(prog,
+                    checks=tuple(entry.get("checks", ALL_CHECKS)),
+                    nuca=bool(entry.get("nuca", False)),
+                    telemetry=bool(entry.get("telemetry", False)))
+
+
+def replay_all(corpus_dir: Optional[Path] = None) \
+        -> Dict[str, List[Divergence]]:
+    """name -> divergences for every corpus entry (empty lists = healthy)."""
+    return {name: replay_entry(name, entry)
+            for name, entry in load_corpus(corpus_dir).items()}

@@ -215,6 +215,47 @@ class TripsBlock:
                             f"slot {slot} sends a predicate to unpredicated "
                             f"slot {tgt.slot}")
 
+    def _guarded_slots(self) -> set:
+        """Body slots that provably fire on at most one predicated path.
+
+        A slot is *guarded* if it carries a predicate field, or — fixpoint —
+        if some data operand it needs is fed by exactly one producer and
+        that producer is itself guarded (the consumer can only ever receive
+        that operand when its guarded supplier fires; fanout ``mov`` trees
+        hanging off predicated producers are the common case).  A port fed
+        by several guarded producers does NOT guard the consumer: those
+        producers may sit on complementary paths (a predicated merge), in
+        which case the port always receives a value.
+        """
+        port_suppliers: Dict[tuple, List[int]] = {}
+        for slot, inst in self.body.items():
+            for tgt in inst.targets:
+                if tgt.kind is not OperandKind.WRITE:
+                    port_suppliers.setdefault(
+                        (tgt.slot, tgt.kind), []).append(slot)
+        for read in self.reads.values():
+            for tgt in read.targets:
+                if tgt.kind is not OperandKind.WRITE:
+                    # reads always fire: mark the port multi-supplied so it
+                    # never transfers guardedness
+                    port_suppliers.setdefault(
+                        (tgt.slot, tgt.kind), []).extend((-1, -1))
+        guarded = {slot for slot, inst in self.body.items()
+                   if inst.pred is not None}
+        changed = True
+        while changed:
+            changed = False
+            for slot, inst in self.body.items():
+                if slot in guarded:
+                    continue
+                for kind in (OperandKind.LEFT, OperandKind.RIGHT):
+                    suppliers = port_suppliers.get((slot, kind), ())
+                    if len(suppliers) == 1 and suppliers[0] in guarded:
+                        guarded.add(slot)
+                        changed = True
+                        break
+        return guarded
+
     def _check_constant_outputs(self) -> None:
         """Every write slot and store LSID must have at least one producer.
 
@@ -222,25 +263,31 @@ class TripsBlock:
         per execution) cannot be proven statically in general; the simulator
         asserts it dynamically.  Here we check the necessary condition that
         each output is targeted at all, and that predicated alternatives are
-        plausible (an output with a single unpredicated producer is always
-        produced; one with multiple producers must have all predicated).
+        plausible (an output with a single always-firing producer is always
+        produced; one with multiple producers must have all of them guarded
+        — predicated, or downstream of a sole guarded supplier).
         """
+        guarded = self._guarded_slots()
         write_producers: Dict[int, int] = {s: 0 for s in self.writes}
-        unpred_write: Dict[int, int] = {s: 0 for s in self.writes}
-        for slot, inst in list(self.body.items()) + list(self.reads.items()):
-            pred = getattr(inst, "pred", None)
+        unguarded_write: Dict[int, int] = {s: 0 for s in self.writes}
+        for slot, inst in self.body.items():
             for tgt in inst.targets:
                 if tgt.kind is OperandKind.WRITE:
                     write_producers[tgt.slot] += 1
-                    if pred is None:
-                        unpred_write[tgt.slot] += 1
+                    if slot not in guarded:
+                        unguarded_write[tgt.slot] += 1
+        for read in self.reads.values():
+            for tgt in read.targets:
+                if tgt.kind is OperandKind.WRITE:
+                    write_producers[tgt.slot] += 1
+                    unguarded_write[tgt.slot] += 1
         for wslot, count in write_producers.items():
             if count == 0:
                 raise BlockError(f"write slot {wslot} has no producer")
-            if count > 1 and unpred_write[wslot] > 0:
+            if count > 1 and unguarded_write[wslot] > 0:
                 raise BlockError(
                     f"write slot {wslot} has {count} producers, one "
-                    "unpredicated — outputs would not be constant")
+                    "unguarded — outputs would not be constant")
 
     # ------------------------------------------------------------------
     # Binary encoding

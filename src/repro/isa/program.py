@@ -125,12 +125,24 @@ class ProgramBuilder:
         if len(block.body) > 128:
             raise BlockError("block too large")
 
-    def add_data(self, payload: bytes, align: int = 8) -> int:
-        """Place ``payload`` in the data segment; returns its address."""
-        self._data_next = -(-self._data_next // align) * align
-        addr = self._data_next
+    def add_data(self, payload: bytes, align: int = 8,
+                 at: Optional[int] = None) -> int:
+        """Place ``payload`` in the data segment; returns its address.
+
+        ``at`` pins the payload to an exact address (used by the
+        assembler's ``.data name @addr`` form so disassembled programs
+        re-assemble to the identical memory image regardless of the
+        alignment that originally produced the address).
+        """
+        if at is not None:
+            addr = at
+            if addr in self.program.data:
+                raise ProgramError(f"data at {addr:#x} placed twice")
+        else:
+            self._data_next = -(-self._data_next // align) * align
+            addr = self._data_next
         self.program.data[addr] = bytes(payload)
-        self._data_next += len(payload)
+        self._data_next = max(self._data_next, addr + len(payload))
         return addr
 
     def finish(self) -> Program:

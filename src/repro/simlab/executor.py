@@ -84,6 +84,10 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
                                hand=spec.hand)
         return {"kind": "compare", **cmp.to_dict()}
 
+    if spec.kind == "fuzz":
+        from ..fuzz.oracle import run_shard
+        return {"kind": "fuzz", **run_shard(spec.config)}
+
     if spec.kind == "selftest":
         return _selftest(spec.workload)
 

@@ -24,7 +24,9 @@ from ..uarch.config import PredictorConfig, TripsConfig
 
 #: experiment kinds execute_spec understands.  ``selftest`` exists for the
 #: executor's own crash/retry/timeout tests and never touches a simulator.
-KINDS = ("trips", "baseline", "compare", "selftest")
+#: ``fuzz`` is one differential-fuzzing shard (a seed range plus oracle
+#: options, see :mod:`repro.fuzz`).
+KINDS = ("trips", "baseline", "compare", "selftest", "fuzz")
 
 
 @lru_cache(maxsize=1)
@@ -115,6 +117,33 @@ class RunSpec:
                 fingerprint: Optional[str] = None) -> "RunSpec":
         return cls(kind="compare", workload=workload, hand=hand,
                    config=trips_config_to_dict(config),
+                   fingerprint=fingerprint if fingerprint is not None
+                   else code_fingerprint())
+
+    @classmethod
+    def fuzz(cls, start: int, count: int,
+             gen: Optional[Dict[str, Any]] = None,
+             checks: Optional[tuple] = None,
+             telemetry_every: int = 4, nuca_every: int = 8,
+             fingerprint: Optional[str] = None) -> "RunSpec":
+        """One differential-fuzzing shard over seeds [start, start+count).
+
+        The seed range, generator shape, check selection, and sampling
+        periods all live in ``config`` and therefore in :attr:`key`, so a
+        cached shard result can never be served for a different campaign
+        — and the code fingerprint covers :mod:`repro.fuzz` itself.
+        """
+        from ..fuzz.oracle import ALL_CHECKS
+        config: Dict[str, Any] = {
+            "start": int(start), "count": int(count),
+            "gen": dict(gen or {}),
+            "checks": list(checks if checks is not None else ALL_CHECKS),
+            "telemetry_every": int(telemetry_every),
+            "nuca_every": int(nuca_every),
+        }
+        return cls(kind="fuzz",
+                   workload=f"seeds[{start}:{start + count}]",
+                   config=config,
                    fingerprint=fingerprint if fingerprint is not None
                    else code_fingerprint())
 

@@ -16,12 +16,18 @@ Conventions:
 
 from __future__ import annotations
 
+import math
+
 from .ir import MASK64, TirError, bits_to_float, bits_to_int, float_to_bits, int_to_bits
 
 
 def _fdiv(x: float, y: float) -> float:
     if y == 0.0:
-        return float("inf") if x > 0 else float("-inf") if x < 0 else float("nan")
+        # IEEE-754: 0/0 and nan/0 are nan; x/±0 is ±inf with the sign of
+        # x*y, so the *sign* of a zero divisor matters (1.0/-0.0 == -inf).
+        if x != x or x == 0.0:
+            return float("nan")
+        return math.copysign(float("inf"), x) * math.copysign(1.0, y)
     return x / y
 
 

@@ -1,0 +1,160 @@
+"""Exact JSON codec for TIR programs.
+
+The fuzzing corpus (``tests/fuzz/corpus/``) checks generated programs into
+the repository and replays them in CI, so the round trip must be *exact*:
+``program_from_dict(program_to_dict(p))`` reproduces every 64-bit constant
+bit for bit.  Floats are therefore stored as their IEEE-754 bit patterns
+(``f64`` array elements included), never as decimal text.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from .ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    Expr,
+    For,
+    If,
+    Load,
+    Stmt,
+    Store,
+    TirError,
+    TirProgram,
+    UnOp,
+    Var,
+    While,
+    bits_to_float,
+    float_to_bits,
+)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def expr_to_dict(expr: Expr) -> Dict[str, Any]:
+    if isinstance(expr, Const):
+        out: Dict[str, Any] = {"k": "const", "bits": expr.bits}
+        if expr.is_float:
+            out["float"] = True
+        return out
+    if isinstance(expr, Var):
+        return {"k": "var", "name": expr.name}
+    if isinstance(expr, Load):
+        return {"k": "load", "array": expr.array,
+                "index": expr_to_dict(expr.index)}
+    if isinstance(expr, BinOp):
+        return {"k": "bin", "op": expr.op,
+                "a": expr_to_dict(expr.a), "b": expr_to_dict(expr.b)}
+    if isinstance(expr, UnOp):
+        return {"k": "un", "op": expr.op, "a": expr_to_dict(expr.a)}
+    raise TirError(f"cannot serialize expression {expr!r}")
+
+
+def expr_from_dict(data: Dict[str, Any]) -> Expr:
+    kind = data["k"]
+    if kind == "const":
+        return Const(data["bits"], is_float=bool(data.get("float", False)))
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "load":
+        return Load(data["array"], expr_from_dict(data["index"]))
+    if kind == "bin":
+        return BinOp(data["op"], expr_from_dict(data["a"]),
+                     expr_from_dict(data["b"]))
+    if kind == "un":
+        return UnOp(data["op"], expr_from_dict(data["a"]))
+    raise TirError(f"unknown expression kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def stmt_to_dict(stmt: Stmt) -> Dict[str, Any]:
+    if isinstance(stmt, Assign):
+        return {"k": "assign", "var": stmt.var,
+                "expr": expr_to_dict(stmt.expr)}
+    if isinstance(stmt, Store):
+        return {"k": "store", "array": stmt.array,
+                "index": expr_to_dict(stmt.index),
+                "value": expr_to_dict(stmt.value)}
+    if isinstance(stmt, For):
+        return {"k": "for", "var": stmt.var,
+                "start": expr_to_dict(stmt.start),
+                "stop": expr_to_dict(stmt.stop),
+                "step": stmt.step, "unroll": stmt.unroll,
+                "body": [stmt_to_dict(s) for s in stmt.body]}
+    if isinstance(stmt, If):
+        return {"k": "if", "cond": expr_to_dict(stmt.cond),
+                "then": [stmt_to_dict(s) for s in stmt.then_body],
+                "else": [stmt_to_dict(s) for s in stmt.else_body]}
+    if isinstance(stmt, While):
+        return {"k": "while", "cond": expr_to_dict(stmt.cond),
+                "body": [stmt_to_dict(s) for s in stmt.body]}
+    raise TirError(f"cannot serialize statement {stmt!r}")
+
+
+def stmt_from_dict(data: Dict[str, Any]) -> Stmt:
+    kind = data["k"]
+    if kind == "assign":
+        return Assign(data["var"], expr_from_dict(data["expr"]))
+    if kind == "store":
+        return Store(data["array"], expr_from_dict(data["index"]),
+                     expr_from_dict(data["value"]))
+    if kind == "for":
+        return For(data["var"], expr_from_dict(data["start"]),
+                   expr_from_dict(data["stop"]), data["step"],
+                   [stmt_from_dict(s) for s in data["body"]],
+                   unroll=data.get("unroll", 1))
+    if kind == "if":
+        return If(expr_from_dict(data["cond"]),
+                  [stmt_from_dict(s) for s in data["then"]],
+                  [stmt_from_dict(s) for s in data.get("else", [])])
+    if kind == "while":
+        return While(expr_from_dict(data["cond"]),
+                     [stmt_from_dict(s) for s in data["body"]])
+    raise TirError(f"unknown statement kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Programs
+# ----------------------------------------------------------------------
+def array_to_dict(arr: Array) -> Dict[str, Any]:
+    if arr.dtype == "f64":
+        data = [float_to_bits(v) if isinstance(v, float) else int(v)
+                for v in arr.data]
+    else:
+        data = [int(v) for v in arr.data]
+    return {"dtype": arr.dtype, "data": data}
+
+
+def array_from_dict(data: Dict[str, Any]) -> Array:
+    dtype = data["dtype"]
+    if dtype == "f64":
+        return Array(dtype, [bits_to_float(v) for v in data["data"]])
+    return Array(dtype, list(data["data"]))
+
+
+def program_to_dict(prog: TirProgram) -> Dict[str, Any]:
+    return {
+        "name": prog.name,
+        "arrays": {name: array_to_dict(arr)
+                   for name, arr in prog.arrays.items()},
+        "scalars": dict(prog.scalars),
+        "body": [stmt_to_dict(s) for s in prog.body],
+        "outputs": list(prog.outputs),
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> TirProgram:
+    return TirProgram(
+        name=data["name"],
+        arrays={name: array_from_dict(arr)
+                for name, arr in data["arrays"].items()},
+        scalars=dict(data["scalars"]),
+        body=[stmt_from_dict(s) for s in data["body"]],
+        outputs=list(data["outputs"]),
+    )

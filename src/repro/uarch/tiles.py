@@ -665,8 +665,11 @@ class DataTile:
             work = proc.deferred_wake_t((msg.seq, msg.lsid), self.index)
             if work is None:
                 continue       # gated on a store still in flight
-            if work <= t:
-                work = t + 1   # this cycle's retry already ran
+            if work < t:
+                # cycle ``t`` has not been stepped yet (the run loop asks
+                # after advancing ``cycle``), so a gate that opened in the
+                # past is serviceable at ``t`` itself — never ``t + 1``
+                work = t
             if wake is None or work < wake:
                 wake = work
         return wake

@@ -7,7 +7,7 @@ agree bit for bit.  A thinner sample also runs the cycle-level simulator.
 """
 
 import pytest
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, example, given, settings, strategies as st
 
 from repro.baseline.ooo import run_baseline
 from repro.compiler import compile_tir
@@ -111,6 +111,23 @@ def _baseline_outputs(prog):
           suppress_health_check=[HealthCheck.too_slow,
                                  HealthCheck.data_too_large])
 @given(programs)
+@example(
+    # Discovered failure: hand-level if-conversion produced a write slot fed
+    # both by a predicated mov and by an unpredicated fanout mov hanging off
+    # the opposite-polarity predicated mov; TripsBlock.validate rejected the
+    # (dynamically correct) block.  Fixed by the guardedness refinement in
+    # isa/block.py plus the constant-condition phi fold in compiler/dag.py.
+    prog=TirProgram(
+        name='rand',
+        arrays={'arr': Array(dtype='i64', data=[-3, 3, 2, 1, 0, -1, -2, -3])},
+        scalars={'v0': -1, 'v1': 0, 'v2': 1},
+        body=[If(cond=BinOp(op='ge', a=Const(bits=0), b=Const(bits=0)),
+                 then_body=[Assign(var='v0', expr=Const(bits=0))],
+                 else_body=[Assign(var='v2', expr=Const(bits=0))]),
+              Assign(var='v1', expr=V('v2')),
+              Assign(var='v0', expr=V('v1'))],
+        outputs=['arr', 'v0', 'v1', 'v2']),
+).via('discovered failure')
 def test_all_functional_models_agree(prog):
     golden = interpret(prog).output_signature(prog.outputs)
     for level in ("tcc", "hand"):

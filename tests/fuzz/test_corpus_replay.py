@@ -1,0 +1,34 @@
+"""Tier-1 replay of the checked-in regression corpus.
+
+Every entry under ``tests/fuzz/corpus/`` is a minimized program that once
+exposed a real divergence (the entry's ``reason`` says which bug and which
+fix).  Replaying an entry re-runs its original oracle checks on today's
+code; a non-empty divergence list means the fix regressed.
+"""
+
+import pytest
+
+from repro.fuzz.corpus import CORPUS_DIR, load_corpus, replay_entry
+
+_CORPUS = load_corpus()
+
+
+def test_corpus_is_present_and_nonempty():
+    assert CORPUS_DIR.is_dir()
+    assert len(_CORPUS) >= 8
+
+
+@pytest.mark.parametrize("name", sorted(_CORPUS), ids=str)
+def test_corpus_entry_stays_fixed(name):
+    entry = _CORPUS[name]
+    divergences = replay_entry(name, entry)
+    assert divergences == [], (
+        f"regression of: {entry.get('reason', '?')}\n" +
+        "\n".join(f"[{d.stage}] {d.detail}" for d in divergences))
+
+
+def test_corpus_entries_carry_their_provenance():
+    for name, entry in _CORPUS.items():
+        assert entry.get("reason"), f"{name} has no reason string"
+        assert entry.get("checks"), f"{name} names no oracle checks"
+        assert "program" in entry, f"{name} has no program payload"

@@ -1,0 +1,35 @@
+"""Assembler <-> disassembler round-trip fuzz.
+
+``assemble(disassemble(p))`` must reproduce the original program's memory
+image, entry point, and initial registers exactly — for every compiled
+level of a spread of generated programs.  The ``@addr`` data-placement
+directive exists precisely because alignment padding used to be lost in
+the text round trip.
+"""
+
+import pytest
+
+from repro.asm import assemble, disassemble
+from repro.compiler import compile_tir
+from repro.fuzz.gen import generate
+
+SEEDS = list(range(0, 40, 4))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("level", ["tcc", "hand"])
+def test_roundtrip_preserves_memory_image(seed, level):
+    program = compile_tir(generate(seed), level=level).program
+    text = disassemble(program)
+    rebuilt = assemble(text)
+    assert rebuilt.entry == program.entry
+    assert rebuilt.initial_regs == program.initial_regs
+    assert rebuilt.memory_image() == program.memory_image()
+
+
+def test_roundtrip_text_is_stable():
+    # disassembling the reassembled program yields the same text: the
+    # round trip is a fixpoint, not merely image-preserving
+    program = compile_tir(generate(7), level="hand").program
+    text = disassemble(program)
+    assert disassemble(assemble(text)) == text

@@ -1,0 +1,71 @@
+"""Fuzz shards as simlab jobs: cache-key identity and execution.
+
+A cached shard result must never be served for a different campaign, so
+every knob that changes a shard's outcome — seed range, generator shape,
+check selection, sampling periods, and the simulator source itself — has
+to reach :attr:`RunSpec.key`.
+"""
+
+from pathlib import Path
+
+from repro.fuzz.gen import GenConfig
+from repro.simlab.cache import ResultCache
+from repro.simlab.executor import execute_spec, run_specs
+from repro.simlab.spec import RunSpec, code_fingerprint
+
+
+def test_fuzz_spec_key_covers_every_campaign_knob():
+    base = RunSpec.fuzz(0, 10)
+    assert base.kind == "fuzz"
+    variants = [
+        RunSpec.fuzz(1, 10),                        # different seed start
+        RunSpec.fuzz(0, 11),                        # different count
+        RunSpec.fuzz(0, 10, checks=("arch",)),      # different checks
+        RunSpec.fuzz(0, 10, telemetry_every=2),     # different sampling
+        RunSpec.fuzz(0, 10, nuca_every=2),
+        RunSpec.fuzz(0, 10,
+                     gen=GenConfig(max_top_stmts=2).to_dict()),
+        RunSpec.fuzz(0, 10, fingerprint="deadbeef"),  # different source
+    ]
+    keys = {base.key} | {v.key for v in variants}
+    assert len(keys) == len(variants) + 1, "two campaign knobs alias"
+
+
+def test_fuzz_spec_key_is_stable_across_construction():
+    a = RunSpec.fuzz(5, 20, checks=("arch", "engines"))
+    b = RunSpec.fuzz(5, 20, checks=("arch", "engines"))
+    assert a.key == b.key
+    # and survives the to_dict/from_dict trip the worker processes use
+    assert RunSpec.from_dict(a.to_dict()).key == a.key
+
+
+def test_code_fingerprint_enumerates_the_fuzz_package():
+    # the fingerprint walks every .py under src/repro, so a change to the
+    # generator or oracle invalidates cached shard results automatically
+    root = Path(code_fingerprint.__wrapped__.__code__.co_filename) \
+        .resolve().parent.parent
+    fuzz_files = {p.name for p in (root / "fuzz").glob("*.py")}
+    assert {"gen.py", "oracle.py", "minimize.py", "corpus.py"} <= fuzz_files
+    covered = {p.name for p in root.rglob("*.py")}
+    assert fuzz_files <= covered
+
+
+def test_execute_spec_runs_a_fuzz_shard():
+    spec = RunSpec.fuzz(0, 2, checks=("arch",),
+                        telemetry_every=0, nuca_every=0)
+    result = execute_spec(spec)
+    assert result["kind"] == "fuzz"
+    assert result["count"] == 2
+    assert result["divergences"] == []
+
+
+def test_fuzz_shard_results_are_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    specs = [RunSpec.fuzz(3, 1, checks=("arch",),
+                          telemetry_every=0, nuca_every=0)]
+    first = run_specs(specs, workers=0, cache=cache)
+    hits = []
+    second = run_specs(specs, workers=0, cache=cache,
+                       log=lambda m: hits.append(m))
+    assert first == second
+    assert any("hit" in m for m in hits)

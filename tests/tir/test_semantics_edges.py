@@ -1,0 +1,217 @@
+"""Arithmetic edge cases, pinned bit-for-bit and swept across every path.
+
+Two layers of defence:
+
+* the pinned tests nail the *values* the shared semantics module must
+  produce for the nasty corners (INT64_MIN / -1, oversized shifts, ftoi
+  of nan/inf/huge, nan propagation, signed zeros), so a future change is
+  a visible diff, not a silent drift;
+* the sweep runs small TIR programs built around those corners through
+  the full differential oracle (interpreter, tcc/hand functional sims,
+  SRISC baseline, cycle simulator) and asserts zero divergences — the
+  oracle is the proof that every path still routes through the one
+  semantics module.
+"""
+
+import math
+
+import pytest
+
+from repro.fuzz.oracle import check_arch
+from repro.tir import interpret
+from repro.tir.ir import (
+    Array,
+    Assign,
+    BinOp,
+    Const,
+    If,
+    Load,
+    MASK64,
+    Store,
+    TirProgram,
+    UnOp,
+    V,
+    bits_to_float,
+    float_to_bits,
+    int_to_bits,
+)
+from repro.tir.semantics import binop, unop
+
+INT64_MIN = -(1 << 63)
+INT64_MIN_BITS = 1 << 63
+NAN = float_to_bits(float("nan"))
+PINF = float_to_bits(float("inf"))
+NINF = float_to_bits(float("-inf"))
+NZERO = float_to_bits(-0.0)
+
+
+# ----------------------------------------------------------------------
+# pinned values
+# ----------------------------------------------------------------------
+def test_int64_min_overflow_division():
+    # INT64_MIN / -1 overflows; two's-complement wrap yields INT64_MIN
+    assert binop("div", INT64_MIN_BITS, int_to_bits(-1)) == INT64_MIN_BITS
+    # ... and the matching remainder is exactly 0
+    assert binop("rem", INT64_MIN_BITS, int_to_bits(-1)) == 0
+    # division truncates toward zero, not toward -inf
+    assert binop("div", int_to_bits(-7), 2) == int_to_bits(-3)
+    assert binop("rem", int_to_bits(-7), 2) == int_to_bits(-1)
+    # defined div/rem-by-zero behaviour (documented, not a fault)
+    assert binop("div", 5, 0) == 0
+    assert binop("rem", 5, 0) == 5
+
+
+@pytest.mark.parametrize("op", ["shl", "shr", "sra"])
+@pytest.mark.parametrize("amount", [64, 65, 127, 128, (1 << 63) + 1])
+def test_shift_amounts_wrap_mod_64(op, amount):
+    value = 0x8000_0000_0000_0001
+    expected = binop(op, value, amount & 63)
+    assert binop(op, value, int_to_bits(amount)) == expected
+
+
+def test_shift_by_exactly_64_is_identity():
+    assert binop("shl", 0xDEAD, 64) == 0xDEAD
+    assert binop("sra", INT64_MIN_BITS, 64) == INT64_MIN_BITS
+
+
+def test_ftoi_non_finite_and_huge():
+    # non-finite conversions collapse to 0 (a defined, testable choice)
+    assert unop("ftoi", NAN) == 0
+    assert unop("ftoi", PINF) == 0
+    assert unop("ftoi", NINF) == 0
+    # > 2**63 wraps through two's complement like every other overflow
+    big = float_to_bits(9.3e18)
+    assert unop("ftoi", big) == int(9.3e18) & MASK64
+    assert unop("ftoi", NZERO) == 0
+
+
+def test_nan_propagates_through_fbin_and_loses_every_fcmp():
+    for op in ("fadd", "fsub", "fmul", "fdiv"):
+        result = bits_to_float(binop(op, NAN, float_to_bits(1.0)))
+        assert result != result, op
+    # IEEE: every ordered comparison with nan is false, fne is true
+    for op in ("feq", "flt", "fle", "fgt", "fge"):
+        assert binop(op, NAN, NAN) == 0, op
+    assert binop("fne", NAN, NAN) == 1
+
+
+def test_negative_zero_semantics():
+    # -0.0 == +0.0 compares equal but keeps its sign bit through fdiv
+    assert binop("feq", NZERO, float_to_bits(0.0)) == 1
+    assert bits_to_float(binop("fdiv", float_to_bits(1.0), NZERO)) \
+        == float("-inf")
+    assert bits_to_float(binop("fdiv", float_to_bits(-1.0), NZERO)) \
+        == float("inf")
+    # 0/0 (any signs) is nan
+    for num in (float_to_bits(0.0), NZERO):
+        q = bits_to_float(binop("fdiv", num, NZERO))
+        assert q != q
+    # sign-preserving products: -0.0 * 1.0 == -0.0 exactly
+    assert binop("fmul", NZERO, float_to_bits(1.0)) == NZERO
+    assert binop("fadd", NZERO, NZERO) == NZERO
+
+
+def test_fdiv_matches_ieee_for_zero_divisors():
+    for xbits in (float_to_bits(2.0), float_to_bits(-2.0)):
+        for ybits in (float_to_bits(0.0), NZERO):
+            got = bits_to_float(binop("fdiv", xbits, ybits))
+            x, y = bits_to_float(xbits), bits_to_float(ybits)
+            expected = math.copysign(float("inf"), x) * math.copysign(1.0, y)
+            assert got == expected, (x, y)
+
+
+# ----------------------------------------------------------------------
+# cross-path sweep: the same corners through the whole stack
+# ----------------------------------------------------------------------
+def _edge_program(name, body, arrays=None, scalars=None):
+    prog = TirProgram(
+        name=name,
+        arrays=arrays or {},
+        scalars=scalars or {},
+        body=body,
+        outputs=sorted(arrays or {}) + sorted(scalars or {}),
+    )
+    prog.validate()
+    return prog
+
+
+def _fc(value):
+    return Const(float_to_bits(value), is_float=True)
+
+
+EDGE_PROGRAMS = [
+    _edge_program(
+        "edge_div_overflow",
+        scalars={"q": 0, "r": 0, "z": 0, "zr": 0},
+        body=[
+            Assign("q", BinOp("div", Const(INT64_MIN), Const(-1))),
+            Assign("r", BinOp("rem", Const(INT64_MIN), Const(-1))),
+            Assign("z", BinOp("div", Const(41), Const(0))),
+            Assign("zr", BinOp("rem", Const(41), Const(0))),
+        ]),
+    _edge_program(
+        "edge_shifts",
+        arrays={"s": Array("i64", [0] * 8)},
+        scalars={"v": 0x8000_0000_0000_0001 - (1 << 64)},
+        body=[
+            Store("s", Const(0), BinOp("shl", V("v"), Const(64))),
+            Store("s", Const(1), BinOp("shr", V("v"), Const(65))),
+            Store("s", Const(2), BinOp("sra", V("v"), Const(127))),
+            Store("s", Const(3), BinOp("shl", V("v"), Const(1))),
+            Store("s", Const(4), BinOp("sra", V("v"), Const(63))),
+        ]),
+    _edge_program(
+        "edge_ftoi",
+        arrays={"t": Array("i64", [0] * 8)},
+        body=[
+            Store("t", Const(0), UnOp("ftoi", _fc(float("nan")))),
+            Store("t", Const(1), UnOp("ftoi", _fc(float("inf")))),
+            Store("t", Const(2), UnOp("ftoi", _fc(float("-inf")))),
+            Store("t", Const(3), UnOp("ftoi", _fc(9.3e18))),
+            Store("t", Const(4), UnOp("ftoi", _fc(-0.0))),
+            Store("t", Const(5), UnOp("itof", Const(INT64_MIN))),
+        ]),
+    _edge_program(
+        "edge_nan_flow",
+        arrays={"f": Array("f64", [0.0] * 8)},
+        scalars={"c": 0},
+        body=[
+            Store("f", Const(0), BinOp("fadd", _fc(float("nan")), _fc(1.0))),
+            Store("f", Const(1), BinOp("fdiv", _fc(float("nan")),
+                                       _fc(float("nan")))),
+            Assign("c", BinOp("fne", Load("f", Const(0)),
+                              Load("f", Const(0)))),
+            If(BinOp("feq", _fc(float("nan")), _fc(float("nan"))),
+               [Store("f", Const(2), _fc(111.0))],
+               [Store("f", Const(2), _fc(222.0))]),
+        ]),
+    _edge_program(
+        "edge_neg_zero",
+        arrays={"g": Array("f64", [0.0] * 8)},
+        scalars={"eqz": 0},
+        body=[
+            Store("g", Const(0), BinOp("fmul", _fc(-0.0), _fc(1.0))),
+            Store("g", Const(1), BinOp("fdiv", _fc(1.0), _fc(-0.0))),
+            Store("g", Const(2), BinOp("fdiv", _fc(-1.0), _fc(-0.0))),
+            Store("g", Const(3), BinOp("fdiv", _fc(0.0), _fc(-0.0))),
+            Assign("eqz", BinOp("feq", _fc(-0.0), _fc(0.0))),
+        ]),
+]
+
+
+@pytest.mark.parametrize("prog", EDGE_PROGRAMS, ids=lambda p: p.name)
+def test_edge_program_agrees_on_every_path(prog):
+    divergences = check_arch(prog)
+    assert divergences == [], \
+        [f"{d.stage}: {d.detail}" for d in divergences]
+
+
+def test_edge_interpreter_values_are_the_pinned_ones():
+    # spot-check the sweep programs against the pinned scalar semantics,
+    # so the two layers of this file can never drift apart
+    state = interpret(EDGE_PROGRAMS[0])
+    sig = dict(state.output_signature(EDGE_PROGRAMS[0].outputs))
+    assert sig["q"] == INT64_MIN_BITS
+    assert sig["r"] == 0
+    assert sig["z"] == 0
+    assert sig["zr"] == 41
