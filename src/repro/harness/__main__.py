@@ -8,6 +8,9 @@ Usage::
                                    [--cache DIR]
     python -m repro.harness floorplan
     python -m repro.harness run <workload> [--level hand|tcc] [--json]
+                                [--size N] [--sample [--interval B]
+                                [--warmup B] [--measure B]]
+    python -m repro.harness sbench [--smoke] [--out FILE]
     python -m repro.harness inspect <workload> [--level hand|tcc]
                                     [--mem l2perfect|nuca]
                                     [--perfetto out.json] [--json]
@@ -16,6 +19,13 @@ Usage::
 layer enabled and prints the per-tile utilization heatmap and
 stall-attribution table; ``--perfetto`` additionally exports a
 Chrome/Perfetto trace-event timeline.
+
+``run --sample`` switches to sampled + checkpointed simulation
+(:mod:`repro.sampling`): architectural results stay exact, cycles/IPC
+become estimates with 95% confidence intervals, and ``--size`` scales the
+input far past what full simulation can afford.  ``sbench`` measures the
+sampled-vs-full error and effective speedup on scaled workloads and
+writes ``BENCH_sampling.json``.
 
 ``table3`` submits its per-benchmark jobs through :mod:`repro.simlab`;
 ``--workers``/``--cache`` opt into parallel execution and result caching
@@ -86,8 +96,30 @@ def main(argv=None) -> int:
     run_p = sub.add_parser("run", help="run one workload on tsim-proc")
     run_p.add_argument("workload")
     run_p.add_argument("--level", default="hand", choices=["tcc", "hand"])
+    run_p.add_argument("--size", type=int, default=1, metavar="N",
+                       help="input-size multiplier for scalable workloads")
+    run_p.add_argument("--sample", action="store_true",
+                       help="sampled + checkpointed simulation: exact "
+                       "architectural results, cycle estimates with 95%% "
+                       "confidence intervals (see repro.sampling)")
+    run_p.add_argument("--interval", type=int, default=2000, metavar="B",
+                       help="blocks between measurement windows "
+                       "(default 2000)")
+    run_p.add_argument("--warmup", type=int, default=150, metavar="B",
+                       help="discarded detailed warmup per window "
+                       "(default 150)")
+    run_p.add_argument("--measure", type=int, default=300, metavar="B",
+                       help="measured blocks per window (default 300)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the full stats record as JSON")
+    sb_p = sub.add_parser(
+        "sbench", help="sampled vs. full simulation on scaled workloads")
+    sb_p.add_argument("--smoke", action="store_true",
+                      help="~10x smaller sizes for CI")
+    sb_p.add_argument("--out", default="BENCH_sampling.json", metavar="FILE",
+                      help="JSON report path (default BENCH_sampling.json)")
+    sb_p.add_argument("--json", action="store_true",
+                      help="emit the report on stdout as well")
     ins_p = sub.add_parser(
         "inspect", help="run one workload with telemetry and report")
     ins_p.add_argument("workload")
@@ -139,20 +171,50 @@ def main(argv=None) -> int:
     elif args.command == "list":
         for name in workload_names():
             print(name)
+    elif args.command == "run" and args.sample:
+        from ..sampling import SamplingConfig, run_sampled_workload
+        sampling = SamplingConfig(interval_blocks=args.interval,
+                                  warmup_blocks=args.warmup,
+                                  measure_blocks=args.measure)
+        run = run_sampled_workload(args.workload, level=args.level,
+                                   sampling=sampling, size=args.size)
+        s = run.sampled
+        if args.json:
+            print(json.dumps({"name": run.name, "level": run.level,
+                              "size": args.size,
+                              "sampling": sampling.to_dict(),
+                              "sampled": s.to_dict()}, indent=2))
+        else:
+            print(f"{run.name} @ {args.level} (sampled): "
+                  f"{s.cycles_est:.0f} ± {s.cycles_ci:.0f} cycles, "
+                  f"IPC {s.ipc_est:.2f} ± {s.ipc_ci:.2f}, "
+                  f"{s.blocks_total} blocks "
+                  f"({s.windows} windows, "
+                  f"{100 * s.coverage:.2f}% cycle-accurate coverage)")
     elif args.command == "run":
-        run = run_trips_workload(args.workload, level=args.level)
+        run = run_trips_workload(args.workload, level=args.level,
+                                 size=args.size)
         if args.json:
             print(json.dumps({"name": run.name, "level": run.level,
                               "cycles": run.cycles,
                               "ipc": round(run.ipc, 4),
                               "stats": run.stats.to_dict()}, indent=2))
         else:
-            print(f"{args.workload} @ {args.level}: {run.cycles} cycles, "
+            print(f"{run.name} @ {args.level}: {run.cycles} cycles, "
                   f"IPC {run.ipc:.2f}, "
                   f"{run.stats.blocks_committed} blocks committed, "
                   f"{run.stats.blocks_flushed} flushed "
                   f"({run.stats.flushes_mispredict} mispredict / "
                   f"{run.stats.flushes_violation} violation)")
+    elif args.command == "sbench":
+        from .sbench import run_sampling_bench
+        report = run_sampling_bench(
+            smoke=args.smoke, out=args.out,
+            log=lambda message: print(message, file=sys.stderr))
+        if args.json:
+            print(json.dumps(report, indent=2))
+        if not args.smoke and not report["meets_targets"]:
+            return 1
     elif args.command == "inspect":
         from ..telemetry.perfetto import export_perfetto
         from ..telemetry.report import render_report

@@ -103,9 +103,16 @@ def compare_to_baseline(report: Dict, baseline: Dict, log=None) -> Dict:
                  for r in baseline.get("results", [])}
     rows: List[Dict] = []
     ratios: List[float] = []
+    skipped: List[str] = []
     for row in report["results"]:
-        base = base_rows.get((row["workload"], row["level"], row["mem"]))
+        case = (row["workload"], row["level"], row["mem"])
+        base = base_rows.get(case)
         if base is None or not base.get("fast_kcycles_per_s"):
+            # an older baseline predating a workload (or recorded with a
+            # zero/absent throughput) is not an error: warn and compare
+            # the cases both reports actually share
+            skipped.append("{}@{}/{}".format(*case))
+            say(f"warning: no baseline for {skipped[-1]} — skipped")
             continue
         ratio = row["fast_kcycles_per_s"] / base["fast_kcycles_per_s"]
         ratios.append(ratio)
@@ -126,6 +133,8 @@ def compare_to_baseline(report: Dict, baseline: Dict, log=None) -> Dict:
         "baseline_host": baseline.get("host", "unknown"),
         "baseline_created_utc": baseline.get("created_utc", "unknown"),
         "matched_cases": len(rows),
+        "skipped_cases": len(skipped),
+        "skipped": skipped,
         "geomean_ratio": round(geomean, 3) if ratios else None,
         "threshold": REGRESSION_THRESHOLD,
         "regressed": regressed,
@@ -133,6 +142,7 @@ def compare_to_baseline(report: Dict, baseline: Dict, log=None) -> Dict:
     }
     say(f"baseline delta: geomean x{geomean:.3f} over {len(rows)} "
         f"matched cases (threshold x{REGRESSION_THRESHOLD:.2f})"
+        + (f", {len(skipped)} skipped" if skipped else "")
         + ("   REGRESSION" if regressed else ""))
     if baseline.get("host") not in (None, report.get("host")):
         say(f"note: baseline was recorded on host "

@@ -57,24 +57,25 @@ class BaselineRun:
         return self.stats.ipc
 
 
-def _resolve(workload) -> TirProgram:
+def _resolve(workload, size: int = 1) -> TirProgram:
     if isinstance(workload, TirProgram):
         return workload
-    return get_workload(workload)
+    return get_workload(workload, size=size)
 
 
 def run_trips_workload(workload, level: str = "hand",
                        config: Optional[TripsConfig] = None,
                        trace: bool = False,
                        validate: bool = True,
-                       telemetry=None) -> TripsRun:
+                       telemetry=None, size: int = 1) -> TripsRun:
     """Compile and run one workload on tsim-proc.
 
     ``telemetry`` may be True or a
     :class:`~repro.telemetry.TelemetryConfig`; the recorder is then
-    reachable as ``run.proc.tel``.
+    reachable as ``run.proc.tel``.  ``size`` scales the input for the
+    workloads in :data:`~repro.workloads.registry.SCALABLE`.
     """
-    tir = _resolve(workload)
+    tir = _resolve(workload, size=size)
     compiled = compile_tir(tir, level=level)
     proc = TripsProcessor(compiled.program,
                           config=config or TripsConfig(), trace=trace,

@@ -1,0 +1,166 @@
+"""Sampling benchmark: sampled vs. full simulation on scaled workloads.
+
+``python -m repro.harness sbench`` takes five scaled workloads — ``mcf``
+(pointer chasing), ``dct8x8`` (dense loop nests), ``a2time01`` (branchy
+control), ``bezier02`` (FP-dense), ``basefp01`` (FP arithmetic mix) — at
+sizes where a full cycle-accurate run costs minutes, runs each both
+ways, and reports the *realized* sampling error (the sampled estimate
+against ground truth) next to the confidence interval the sampler
+claimed, plus the effective speedup: full wall-clock over sampled
+wall-clock, fast-forward and checkpoint overhead included.
+
+The report is written to ``BENCH_sampling.json`` at the repo root.  The
+headline claim it backs: **>=20x effective speedup at <=2% cycles/IPC
+error on at least three scaled workloads** (``MIN_PASSING_CASES`` of
+the roster must meet both targets simultaneously; every case must meet
+the error target).  One case is kept in the roster even though it sits
+right at the speedup line: ``mcf``'s bimodal cycles-per-block
+distribution needs ~50 windows for a <=2% draw, which pushes its
+coverage up and its speedup to ~20x — SimPoint-style window placement
+is the known fix (ROADMAP.md).  Workloads whose windows carry a
+systematic warm-state bias the CI cannot see (``rspeed01``, ``parser``,
+``tblook01`` — wrong-path-*trained* predictor tables, ~8-12% error at
+any scale and warmup) are excluded and documented in the EXPERIMENTS.md
+sampling note.
+
+``--smoke`` shrinks the sizes ~10x for CI — the error bounds still hold
+there but the speedup shrinks with the coverage ratio, so the smoke
+tier records speedups without asserting the 20x target.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sampling import SamplingConfig
+from ..sampling.validate import measure_error
+from .bench import _geomean, provenance
+
+#: the full-size tier: (workload, size, sampling geometry).  Sizes put
+#: every case in the ~300-400k committed-block range (minutes of full
+#: detailed simulation); intervals keep coverage near 2% with ~30-50
+#: windows each.  mcf runs a tighter interval than the rest: its
+#: bimodal cycles-per-block needs the extra windows to stay inside the
+#: error target (at the cost of its speedup, see the module docstring).
+FULL_CASES: Tuple[Tuple[str, int, SamplingConfig], ...] = (
+    ("mcf", 512, SamplingConfig(interval_blocks=8000, warmup_blocks=100,
+                                measure_blocks=150)),
+    ("dct8x8", 128, SamplingConfig(interval_blocks=10000, warmup_blocks=100,
+                                   measure_blocks=150)),
+    ("a2time01", 3072, SamplingConfig(interval_blocks=12000,
+                                      warmup_blocks=100,
+                                      measure_blocks=150)),
+    ("bezier02", 4096, SamplingConfig(interval_blocks=10000,
+                                      warmup_blocks=100,
+                                      measure_blocks=150)),
+    ("basefp01", 4096, SamplingConfig(interval_blocks=12000,
+                                      warmup_blocks=100,
+                                      measure_blocks=150)),
+)
+
+#: CI tier: a three-workload subset ~10x smaller, seconds not minutes.
+SMOKE_CASES: Tuple[Tuple[str, int, SamplingConfig], ...] = (
+    ("mcf", 48, SamplingConfig(interval_blocks=1200, warmup_blocks=60,
+                               measure_blocks=100)),
+    ("dct8x8", 12, SamplingConfig(interval_blocks=1200, warmup_blocks=60,
+                                  measure_blocks=100)),
+    ("a2time01", 256, SamplingConfig(interval_blocks=1200, warmup_blocks=60,
+                                     measure_blocks=100)),
+)
+
+#: headline targets (asserted on the full tier only): at least
+#: MIN_PASSING_CASES of the roster must meet both the speedup and the
+#: error target simultaneously.
+SPEEDUP_TARGET = 20.0
+ERROR_TARGET_PCT = 2.0
+MIN_PASSING_CASES = 3
+
+
+def run_sampling_bench(smoke: bool = False,
+                       cases: Optional[Sequence] = None,
+                       out: Optional[str] = "BENCH_sampling.json",
+                       log=None) -> Dict:
+    """Run the sampled-vs-full benchmark; returns (and writes) the report."""
+    def say(message: str) -> None:
+        if log is not None:
+            log(message)
+
+    cases = list(cases if cases is not None
+                 else (SMOKE_CASES if smoke else FULL_CASES))
+    rows: List[Dict] = []
+    for name, size, sampling in cases:
+        row = measure_error(name, size=size, sampling=sampling)
+        rows.append(row)
+        say(f"{name}x{size:<5d} {row['blocks']:>7d} blocks  "
+            f"{row['windows']:>3d} win  cov {100 * row['coverage']:.2f}%  "
+            f"cycles err {row['cycles_err_pct']:+.2f}% "
+            f"(CI ±{100 * row['est_cycles_ci'] / row['full_cycles']:.2f}%)  "
+            f"ipc err {row['ipc_err_pct']:+.2f}%  "
+            f"speedup x{row['effective_speedup']:.1f} "
+            f"({row['full_wall_s']:.1f}s -> {row['sampled_wall_s']:.1f}s)")
+
+    max_cycles_err = max(abs(r["cycles_err_pct"]) for r in rows)
+    max_ipc_err = max(abs(r["ipc_err_pct"]) for r in rows)
+    geomean_speedup = _geomean([r["effective_speedup"] for r in rows])
+    min_speedup = min(r["effective_speedup"] for r in rows)
+    for r in rows:
+        r["meets_both_targets"] = (
+            r["effective_speedup"] >= SPEEDUP_TARGET
+            and abs(r["cycles_err_pct"]) <= ERROR_TARGET_PCT
+            and abs(r["ipc_err_pct"]) <= ERROR_TARGET_PCT)
+    passing = sum(1 for r in rows if r["meets_both_targets"])
+    meets = (not smoke and passing >= MIN_PASSING_CASES
+             and max_cycles_err <= ERROR_TARGET_PCT
+             and max_ipc_err <= ERROR_TARGET_PCT)
+    report = {
+        "benchmark": "sampled-simulation",
+        "suite": "smoke" if smoke else "full",
+        **provenance(),
+        "cases": len(rows),
+        "speedup_target": SPEEDUP_TARGET,
+        "error_target_pct": ERROR_TARGET_PCT,
+        "min_passing_cases": MIN_PASSING_CASES,
+        "passing_cases": passing,
+        "geomean_effective_speedup": round(geomean_speedup, 2),
+        "min_effective_speedup": round(min_speedup, 2),
+        "max_cycles_err_pct": round(max_cycles_err, 3),
+        "max_ipc_err_pct": round(max_ipc_err, 3),
+        "meets_targets": meets,
+        "results": rows,
+    }
+    say(f"geomean effective speedup x{geomean_speedup:.1f} over "
+        f"{len(rows)} cases; worst cycles err {max_cycles_err:.2f}%, "
+        f"worst ipc err {max_ipc_err:.2f}%; "
+        f"{passing}/{len(rows)} cases meet both targets"
+        + ("" if smoke else
+           ("   MEETS TARGETS" if meets else "   MISSES TARGETS")))
+    if out:
+        with open(out, "w") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        say(f"wrote {out}")
+    return report
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.sbench",
+        description="Sampled vs. full simulation on scaled workloads.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="~10x smaller sizes for CI")
+    parser.add_argument("--out", default="BENCH_sampling.json")
+    args = parser.parse_args(argv)
+    report = run_sampling_bench(
+        smoke=args.smoke, out=args.out,
+        log=lambda message: print(message, file=sys.stderr))
+    if not args.smoke and not report["meets_targets"]:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,238 @@
+"""The interval-sampling driver: fast-forward, checkpoint, measure.
+
+The fast-forwarder is the master timeline — it retires every block of the
+program (so architectural outputs and instruction counts are exact) and
+carries warm predictor/cache state.  At each sample point it is
+checkpointed, and a cycle-accurate :class:`~repro.uarch.proc.TripsProcessor`
+is resumed from the checkpoint for ``warmup_blocks`` (stats discarded —
+this rebuilds the short-lived state a checkpoint cannot carry: in-flight
+blocks, LSQ, dependence predictor, event wheel) followed by
+``measure_blocks`` whose deltas become one
+:class:`~repro.sampling.stats.WindowSample`.
+
+Telemetry: probes exist only inside window processors — the fast-forward
+path has no probe sites at all, so ``telemetry=True`` costs nothing
+outside the measurement windows and yields one summary per window.
+
+A program too short for even one window (shorter than ``offset_blocks``
+plus one measurement) degenerates to a single full-length window, i.e.
+ordinary full simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..compiler import compile_tir
+from ..tir import TirProgram, interpret
+from ..uarch.config import PROTOTYPE, TripsConfig
+from ..uarch.proc import TripsProcessor
+from .checkpoint import take_checkpoint
+from .ffwd import FastForwarder
+from .stats import RATE_FIELDS, SampledProcStats, WindowSample, aggregate
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Sample-point geometry, in committed blocks.
+
+    One measurement window of ``measure_blocks`` starts every
+    ``interval_blocks`` (the first at ``offset_blocks``), preceded by
+    ``warmup_blocks`` of discarded detailed simulation.
+
+    ``warm_horizon`` bounds *functional* warming: ``None`` keeps the
+    fast-forwarder's predictor/cache warming on for every block (most
+    accurate); a block count H warms only the last H blocks before each
+    detailed window, letting the stretches in between run at full
+    fast-forward speed.  Tables are never cleared, so bounded warming
+    only makes warm state slightly stale, and the detailed warmup still
+    runs on top of it.
+
+    ``jitter`` staggers each window start by a deterministic
+    pseudo-random offset of up to ``jitter * interval_blocks`` blocks
+    (stratified sampling).  Strictly-periodic sample points can alias
+    against a program's own period — e.g. 41 windows every 1052 blocks
+    over dct8x8's 2630-block macroblock loop land on just 5 distinct
+    phases (5*1052 = 2*2630), turning phase structure into bias.  The
+    stagger sequence is a fixed LCG, so runs stay reproducible.
+    """
+
+    interval_blocks: int = 2000
+    warmup_blocks: int = 150
+    measure_blocks: int = 300
+    offset_blocks: int = 0
+    warm_horizon: Optional[int] = None
+    jitter: float = 0.25
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"interval_blocks": self.interval_blocks,
+                "warmup_blocks": self.warmup_blocks,
+                "measure_blocks": self.measure_blocks,
+                "offset_blocks": self.offset_blocks,
+                "warm_horizon": self.warm_horizon,
+                "jitter": self.jitter}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SamplingConfig":
+        horizon = data.get("warm_horizon")
+        return cls(interval_blocks=int(data["interval_blocks"]),
+                   warmup_blocks=int(data["warmup_blocks"]),
+                   measure_blocks=int(data["measure_blocks"]),
+                   offset_blocks=int(data.get("offset_blocks", 0)),
+                   warm_horizon=None if horizon is None else int(horizon),
+                   jitter=float(data.get("jitter", 0.25)))
+
+    def validate(self) -> None:
+        if self.measure_blocks <= 0 or self.interval_blocks <= 0:
+            raise ValueError("interval/measure block counts must be > 0")
+        if self.warmup_blocks < 0 or self.offset_blocks < 0:
+            raise ValueError("warmup/offset block counts must be >= 0")
+        min_gap = self.interval_blocks - 2 * int(self.jitter *
+                                                 self.interval_blocks)
+        if self.measure_blocks + self.warmup_blocks > min_gap:
+            raise ValueError("windows overlap: warmup + measure exceeds "
+                             "the worst-case jittered sampling gap "
+                             f"({min_gap} blocks)")
+        if self.warm_horizon is not None and self.warm_horizon < 0:
+            raise ValueError("warm_horizon must be >= 0 or None")
+        if not 0.0 <= self.jitter <= 0.4:
+            raise ValueError("jitter must be in [0, 0.4]")
+
+    def window_start(self, k: int) -> int:
+        """Measurement-start block index of window ``k`` (jittered)."""
+        base = self.offset_blocks + k * self.interval_blocks
+        if not self.jitter:
+            return base
+        # fixed LCG (numerical recipes constants): deterministic stagger
+        u = ((k * 1664525 + 1013904223) & 0xFFFFFFFF) / 0x100000000
+        span = int(self.jitter * self.interval_blocks)
+        return base + int((2 * u - 1.0) * span)
+
+
+def _counter_snapshot(stats) -> Dict[str, int]:
+    return {name: getattr(stats, name) for name in RATE_FIELDS}
+
+
+def run_sampled_program(program, config: TripsConfig = PROTOTYPE,
+                        sampling: SamplingConfig = SamplingConfig(),
+                        telemetry=None,
+                        max_blocks: int = 500_000_000,
+                        ) -> Tuple[SampledProcStats, FastForwarder,
+                                   List[dict]]:
+    """Sample one compiled :class:`~repro.isa.program.Program`.
+
+    Returns the aggregated stats, the (completed) fast-forwarder — whose
+    ``regs``/``memory`` hold the exact architectural results — and one
+    telemetry summary dict per window when ``telemetry`` is set.
+    """
+    sampling.validate()
+    ff = FastForwarder(program, config, warm=True, max_blocks=max_blocks)
+    windows: List[WindowSample] = []
+    summaries: List[dict] = []
+    k = 0
+    horizon = sampling.warm_horizon
+    while not ff.halted:
+        start = max(sampling.window_start(k), ff.stats.blocks)
+        k += 1
+        warm_start = max(0, start - sampling.warmup_blocks)
+        if horizon is not None:
+            ff.warm = False
+            ff.run_blocks(max(ff.stats.blocks, warm_start - horizon))
+            ff.warm = True
+        ff.run_blocks(warm_start)
+        if ff.halted:
+            break
+        ckpt = take_checkpoint(ff)
+        proc = TripsProcessor(program, config, telemetry=telemetry,
+                              checkpoint=ckpt)
+        warm_target = start - ff.stats.blocks
+        if warm_target:
+            proc.run(until_blocks=warm_target)
+        if proc.halted and proc.stats.blocks_committed <= warm_target:
+            continue            # program ended inside the warmup span
+        proc.finalize_stats()
+        cycles0 = proc.cycle
+        insts0 = proc.stats.insts_committed
+        reads0 = proc.stats.reads_committed
+        counters0 = _counter_snapshot(proc.stats)
+        proc.run(until_blocks=warm_target + sampling.measure_blocks)
+        proc.finalize_stats()
+        measured = proc.stats.blocks_committed - warm_target
+        if measured <= 0:
+            continue
+        counters = {name: getattr(proc.stats, name) - counters0[name]
+                    for name in RATE_FIELDS}
+        windows.append(WindowSample(
+            start_block=start, blocks=measured,
+            cycles=proc.cycle - cycles0,
+            insts=proc.stats.insts_committed - insts0,
+            reads=proc.stats.reads_committed - reads0,
+            counters=counters, lsq_peak=proc.stats.lsq_peak))
+        if proc.tel is not None:
+            summaries.append(proc.tel.summary().to_dict())
+
+    if not windows:
+        # program shorter than one sampling period: fall back to one
+        # full-length window (= ordinary full simulation, zero error)
+        proc = TripsProcessor(program, config, telemetry=telemetry)
+        stats = proc.run()
+        windows.append(WindowSample(
+            start_block=0, blocks=stats.blocks_committed,
+            cycles=stats.cycles, insts=stats.insts_committed,
+            reads=stats.reads_committed,
+            counters=_counter_snapshot(stats), lsq_peak=stats.lsq_peak))
+        if proc.tel is not None:
+            summaries.append(proc.tel.summary().to_dict())
+
+    sampled = aggregate(windows, ff.stats.blocks, ff.stats.fired,
+                        ff.stats.reads)
+    return sampled, ff, summaries
+
+
+@dataclass
+class SampledRun:
+    """One workload's sampled-simulation result."""
+
+    name: str
+    level: str
+    sampled: SampledProcStats
+    fallback_blocks: int = 0
+    telemetry_windows: List[dict] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> float:
+        return self.sampled.cycles_est
+
+    @property
+    def ipc(self) -> float:
+        return self.sampled.ipc_est
+
+
+def run_sampled_workload(workload, level: str = "tcc",
+                         config: Optional[TripsConfig] = None,
+                         sampling: SamplingConfig = SamplingConfig(),
+                         telemetry=None, validate: bool = True,
+                         size: int = 1) -> SampledRun:
+    """Compile and sample one workload, co-validating architectural
+    outputs (from the fast-forwarder, which executes every block) against
+    the TIR interpreter's golden results."""
+    from ..workloads import get_workload
+    if isinstance(workload, TirProgram):
+        tir = workload
+    else:
+        tir = get_workload(workload, size=size)
+    compiled = compile_tir(tir, level=level)
+    sampled, ff, summaries = run_sampled_program(
+        compiled.program, config=config or TripsConfig(),
+        sampling=sampling, telemetry=telemetry)
+    if validate:
+        golden = interpret(tir).output_signature(tir.outputs)
+        got = compiled.extract_outputs(ff.regs, ff.memory)
+        if got != golden:
+            from ..harness.runner import ValidationError
+            raise ValidationError(
+                f"{tir.name}@{level}: sampled outputs diverge from golden")
+    return SampledRun(name=tir.name, level=level, sampled=sampled,
+                      fallback_blocks=ff.fallback_blocks,
+                      telemetry_windows=summaries)

@@ -1,0 +1,174 @@
+"""Statistical aggregation of sampled measurement windows.
+
+SMARTS-style estimation: the fast-forwarder retires *every* block, so
+``blocks_total`` / ``insts_total`` / ``reads_total`` are exact; only the
+*timing* is sampled.  Each measurement window contributes one observation
+of cycles-per-block, and the whole-program cycle count is the mean CPB
+scaled by the exact block count, with a confidence interval from the
+inter-window variance (Student t for small window counts).  Event
+counters (flushes, network messages, cache misses) extrapolate the same
+way; ``lsq_peak`` is a peak, not a rate, and reports the maximum seen in
+any window.
+
+``SampledProcStats`` round-trips through :mod:`repro.serialize` like the
+other stats dataclasses (Python's ``json`` emits ``repr``-exact floats,
+so serialization is lossless here too).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: two-sided 95% Student-t quantiles by degrees of freedom (1-30);
+#: beyond 30 the normal quantile is within 2%.
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+_Z95 = 1.960
+
+
+def t95(df: int) -> float:
+    """95% two-sided Student-t critical value."""
+    if df <= 0:
+        return float("inf")
+    if df <= len(_T95):
+        return _T95[df - 1]
+    return _Z95
+
+
+#: ProcStats counters extrapolated as per-block rates.
+RATE_FIELDS = ("blocks_flushed", "blocks_fetched", "flushes_mispredict",
+               "flushes_violation", "icache_miss_blocks", "deferred_loads",
+               "gdn_messages", "gcn_messages", "gsn_messages",
+               "grn_messages", "dsn_messages", "opn_messages")
+
+
+@dataclass
+class WindowSample:
+    """Raw deltas of one measurement window (warmup already excluded)."""
+
+    start_block: int                 # block index where measurement began
+    blocks: int
+    cycles: int
+    insts: int
+    reads: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    lsq_peak: int = 0
+
+    def to_dict(self) -> dict:
+        return {"start_block": self.start_block, "blocks": self.blocks,
+                "cycles": self.cycles, "insts": self.insts,
+                "reads": self.reads, "counters": dict(self.counters),
+                "lsq_peak": self.lsq_peak}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowSample":
+        return cls(start_block=data["start_block"], blocks=data["blocks"],
+                   cycles=data["cycles"], insts=data["insts"],
+                   reads=data["reads"],
+                   counters=dict(data.get("counters", {})),
+                   lsq_peak=data.get("lsq_peak", 0))
+
+
+@dataclass
+class SampledProcStats:
+    """Whole-program estimates from interval-sampled simulation.
+
+    Exact fields (from the functional fast-forward): ``blocks_total``,
+    ``insts_total``, ``reads_total``.  Estimated fields carry a 95%
+    confidence half-width in the matching ``*_ci`` field.
+    """
+
+    blocks_total: int = 0
+    insts_total: int = 0
+    reads_total: int = 0
+    windows: int = 0
+    measured_blocks: int = 0
+    measured_cycles: int = 0
+    measured_insts: int = 0
+    cycles_est: float = 0.0
+    cycles_ci: float = 0.0
+    ipc_est: float = 0.0
+    ipc_ci: float = 0.0
+    lsq_peak: int = 0
+    rates: Dict[str, float] = field(default_factory=dict)
+    rates_ci: Dict[str, float] = field(default_factory=dict)
+    window_detail: List[dict] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of blocks simulated cycle-accurately (measured only)."""
+        return self.measured_blocks / self.blocks_total \
+            if self.blocks_total else 0.0
+
+    def to_dict(self) -> dict:
+        from ..serialize import dataclass_to_dict
+        data = dataclass_to_dict(self)
+        data["rates"] = dict(self.rates)
+        data["rates_ci"] = dict(self.rates_ci)
+        data["window_detail"] = list(self.window_detail)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SampledProcStats":
+        from ..serialize import dataclass_from_dict
+        return dataclass_from_dict(cls, data)
+
+
+def _mean_ci(values: List[float]) -> (float, float):
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return mean, float("inf")
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    return mean, t95(n - 1) * math.sqrt(var / n)
+
+
+def aggregate(windows: List[WindowSample], blocks_total: int,
+              insts_total: int, reads_total: int) -> SampledProcStats:
+    """Fold window observations into whole-program estimates."""
+    if not windows:
+        raise ValueError("no measurement windows to aggregate")
+    usable = [w for w in windows if w.blocks > 0]
+    if not usable:
+        raise ValueError("every measurement window is empty")
+
+    cpb = [w.cycles / w.blocks for w in usable]
+    cpb_mean, cpb_ci = _mean_ci(cpb)
+    cycles_est = cpb_mean * blocks_total
+    cycles_ci = cpb_ci * blocks_total
+
+    ipc_est = insts_total / cycles_est if cycles_est else 0.0
+    # delta method: d(ipc)/d(cycles) = -insts/cycles^2
+    ipc_ci = (insts_total / cycles_est ** 2) * cycles_ci \
+        if cycles_est and math.isfinite(cycles_ci) else float("inf")
+
+    rates: Dict[str, float] = {}
+    rates_ci: Dict[str, float] = {}
+    for name in RATE_FIELDS:
+        per_block = [w.counters.get(name, 0) / w.blocks for w in usable]
+        mean, ci = _mean_ci(per_block)
+        rates[name] = mean * blocks_total
+        rates_ci[name] = ci * blocks_total if math.isfinite(ci) \
+            else float("inf")
+
+    return SampledProcStats(
+        blocks_total=blocks_total,
+        insts_total=insts_total,
+        reads_total=reads_total,
+        windows=len(usable),
+        measured_blocks=sum(w.blocks for w in usable),
+        measured_cycles=sum(w.cycles for w in usable),
+        measured_insts=sum(w.insts for w in usable),
+        cycles_est=cycles_est,
+        cycles_ci=cycles_ci,
+        ipc_est=ipc_est,
+        ipc_ci=ipc_ci,
+        lsq_peak=max(w.lsq_peak for w in usable),
+        rates=rates,
+        rates_ci=rates_ci,
+        window_detail=[w.to_dict() for w in usable],
+    )

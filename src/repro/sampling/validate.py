@@ -1,0 +1,100 @@
+"""Sampled-vs-full validation: measure the sampling error directly.
+
+The whole point of :mod:`repro.sampling` is trading cycle-accuracy
+*coverage* for wall-clock, with a statistical bound on the damage.  This
+module closes the loop: it runs the same scaled workload twice — once
+fully cycle-accurate, once sampled — and reports the realized error in
+cycles and IPC next to the confidence interval the sampler claimed, plus
+the wall-clock of both runs (the *effective speedup*, which includes all
+fast-forward and checkpoint overhead, not just the coverage ratio).
+
+``warmup_sweep`` repeats the measurement across warmup lengths; it is the
+tool behind EXPERIMENTS.md's warmup-sensitivity note.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..compiler import compile_tir
+from ..uarch.config import TripsConfig
+from ..uarch.proc import TripsProcessor
+from ..workloads import get_workload
+from .sampler import SamplingConfig, run_sampled_program
+
+
+def measure_error(workload: str, size: int = 1,
+                  sampling: SamplingConfig = SamplingConfig(),
+                  level: str = "tcc",
+                  config: Optional[TripsConfig] = None) -> Dict:
+    """Run one workload fully and sampled; return the realized error.
+
+    The full run is the ground truth the paper-scale user can no longer
+    afford — which is exactly why it must stay affordable *here*: call
+    this with the largest size whose full simulation still fits your
+    patience, and trust the CI machinery beyond it.
+    """
+    config = config or TripsConfig()
+    program = compile_tir(get_workload(workload, size=size),
+                          level=level).program
+
+    t0 = time.perf_counter()
+    full = TripsProcessor(program, config=config).run()
+    full_wall = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    sampled, ff, _ = run_sampled_program(program, config=config,
+                                         sampling=sampling)
+    sampled_wall = time.perf_counter() - t0
+
+    cycles_err = sampled.cycles_est / full.cycles - 1.0
+    ipc_err = sampled.ipc_est / full.ipc - 1.0
+    return {
+        "workload": workload,
+        "size": size,
+        "level": level,
+        "sampling": sampling.to_dict(),
+        "blocks": full.blocks_committed,
+        "windows": sampled.windows,
+        "coverage": round(sampled.coverage, 5),
+        "full_cycles": full.cycles,
+        "full_ipc": round(full.ipc, 4),
+        "est_cycles": round(sampled.cycles_est, 1),
+        "est_cycles_ci": round(sampled.cycles_ci, 1),
+        "est_ipc": round(sampled.ipc_est, 4),
+        "est_ipc_ci": round(sampled.ipc_ci, 4),
+        "cycles_err_pct": round(100.0 * cycles_err, 3),
+        "ipc_err_pct": round(100.0 * ipc_err, 3),
+        "ci_covers_truth": abs(sampled.cycles_est - full.cycles)
+        <= sampled.cycles_ci,
+        "full_wall_s": round(full_wall, 3),
+        "sampled_wall_s": round(sampled_wall, 3),
+        "effective_speedup": round(full_wall / sampled_wall, 2)
+        if sampled_wall else float("inf"),
+        "fallback_blocks": ff.fallback_blocks,
+    }
+
+
+def warmup_sweep(workload: str, size: int,
+                 warmups: Sequence[int],
+                 sampling: SamplingConfig = SamplingConfig(),
+                 level: str = "tcc",
+                 config: Optional[TripsConfig] = None) -> List[Dict]:
+    """``measure_error`` across warmup lengths, other geometry fixed.
+
+    The interesting read-out is where the error *stops improving*: past
+    that point extra warmup only burns detailed-simulation budget.
+    """
+    rows = []
+    for warmup in warmups:
+        cfg = SamplingConfig(
+            interval_blocks=sampling.interval_blocks,
+            warmup_blocks=warmup,
+            measure_blocks=sampling.measure_blocks,
+            offset_blocks=sampling.offset_blocks,
+            warm_horizon=sampling.warm_horizon,
+            jitter=sampling.jitter)
+        rows.append(measure_error(workload, size=size, sampling=cfg,
+                                  level=level, config=config))
+    return rows

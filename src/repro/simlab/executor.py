@@ -56,11 +56,25 @@ def execute_spec(spec: RunSpec) -> Dict[str, Any]:
         run_trips_workload,
     )
 
+    if spec.kind == "trips" and spec.sampling is not None:
+        from ..sampling import run_sampled_workload
+        run = run_sampled_workload(
+            spec.workload, level=spec.level,
+            config=trips_config_from_dict(spec.config),
+            sampling=spec.sampling_config(), telemetry=spec.telemetry,
+            size=spec.size)
+        result = {"kind": "trips", "name": run.name, "level": run.level,
+                  "sampled": run.sampled.to_dict(),
+                  "fallback_blocks": run.fallback_blocks}
+        if spec.telemetry:
+            result["telemetry_windows"] = run.telemetry_windows
+        return result
+
     if spec.kind == "trips":
         run = run_trips_workload(spec.workload, level=spec.level,
                                  config=trips_config_from_dict(spec.config),
                                  trace=spec.trace,
-                                 telemetry=spec.telemetry)
+                                 telemetry=spec.telemetry, size=spec.size)
         result = {"kind": "trips", "name": run.name, "level": run.level,
                   "stats": run.stats.to_dict()}
         if spec.trace:

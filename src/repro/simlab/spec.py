@@ -71,6 +71,16 @@ def baseline_config_from_dict(data: Dict[str, Any]) -> BaselineConfig:
     return BaselineConfig(**data)
 
 
+def _freeze_sampling(sampling) -> Optional[tuple]:
+    """Normalize a SamplingConfig / dict / tuple-of-pairs / None to the
+    hashable sorted-tuple form RunSpec stores."""
+    if sampling is None:
+        return None
+    if hasattr(sampling, "to_dict"):
+        sampling = sampling.to_dict()
+    return tuple(sorted(dict(sampling).items()))
+
+
 @dataclass(frozen=True)
 class RunSpec:
     """One independent simulation job.
@@ -87,20 +97,40 @@ class RunSpec:
     trace: bool = False             # trips only: collect a critpath trace
     telemetry: bool = False         # trips only: cache a telemetry summary
     hand: bool = False              # compare only: include the hand level
+    size: int = 1                   # trips only: workload size multiplier
     config: Dict[str, Any] = field(default_factory=dict)
+    #: trips only: a SamplingConfig dict switches the job to sampled +
+    #: checkpointed simulation (see :mod:`repro.sampling`); ``None`` is
+    #: ordinary full simulation.  Stored as a plain tuple-of-pairs so the
+    #: frozen dataclass stays hashable; read it back with
+    #: :meth:`sampling_config`.
+    sampling: Any = None
     fingerprint: str = ""
 
     # -- constructors ----------------------------------------------------
     @classmethod
     def trips(cls, workload: str, level: str = "hand",
               config: Optional[TripsConfig] = None, trace: bool = False,
-              telemetry: bool = False,
+              telemetry: bool = False, size: int = 1,
+              sampling: Optional["SamplingConfig"] = None,
               fingerprint: Optional[str] = None) -> "RunSpec":
+        """``sampling`` may be a
+        :class:`~repro.sampling.SamplingConfig` (or its dict form);
+        ``size`` scales the workload through
+        :func:`~repro.workloads.get_workload`."""
         return cls(kind="trips", workload=workload, level=level,
-                   trace=trace, telemetry=telemetry,
+                   trace=trace, telemetry=telemetry, size=int(size),
+                   sampling=_freeze_sampling(sampling),
                    config=trips_config_to_dict(config),
                    fingerprint=fingerprint if fingerprint is not None
                    else code_fingerprint())
+
+    def sampling_config(self) -> Optional["SamplingConfig"]:
+        """The job's sampling geometry, or ``None`` for full simulation."""
+        if self.sampling is None:
+            return None
+        from ..sampling import SamplingConfig
+        return SamplingConfig.from_dict(dict(self.sampling))
 
     @classmethod
     def baseline(cls, workload: str,
@@ -159,6 +189,9 @@ class RunSpec:
         return {"kind": self.kind, "workload": self.workload,
                 "level": self.level, "trace": self.trace,
                 "telemetry": self.telemetry, "hand": self.hand,
+                "size": self.size,
+                "sampling": None if self.sampling is None
+                else dict(self.sampling),
                 "config": self.config, "fingerprint": self.fingerprint}
 
     @classmethod
@@ -168,6 +201,8 @@ class RunSpec:
                    trace=bool(data.get("trace", False)),
                    telemetry=bool(data.get("telemetry", False)),
                    hand=bool(data.get("hand", False)),
+                   size=int(data.get("size", 1)),
+                   sampling=_freeze_sampling(data.get("sampling")),
                    config=dict(data.get("config", {})),
                    fingerprint=data.get("fingerprint", ""))
 
@@ -182,9 +217,12 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable job name for progress lines."""
         if self.kind == "trips":
-            return f"trips:{self.workload}@{self.level}" + \
+            return f"trips:{self.workload}" + \
+                (f"x{self.size}" if self.size != 1 else "") + \
+                f"@{self.level}" + \
                 (" +trace" if self.trace else "") + \
-                (" +tel" if self.telemetry else "")
+                (" +tel" if self.telemetry else "") + \
+                (" +sampled" if self.sampling is not None else "")
         if self.kind == "compare":
             return f"compare:{self.workload}" + ("" if self.hand
                                                  else " (no hand)")

@@ -65,6 +65,17 @@ class CacheBank:
         if tag in lines:
             lines.remove(tag)
 
+    # -- warm-state snapshot (repro.sampling checkpoints) ---------------
+    def state(self) -> List[List[int]]:
+        """Tag contents of every set, MRU first (JSON-serializable)."""
+        return [list(lines) for lines in self._sets]
+
+    def load_state(self, sets: List[List[int]]) -> None:
+        if len(sets) != self.num_sets:
+            raise ValueError(f"cache state has {len(sets)} sets, "
+                             f"bank has {self.num_sets}")
+        self._sets = [list(lines) for lines in sets]
+
 
 @dataclass
 class Mshr:

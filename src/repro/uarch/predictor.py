@@ -205,8 +205,132 @@ class NextBlockPredictor:
         if predicted_target != actual_target:
             self.target_mispredicts += 1
 
+    def warm_update(self, addr: int, fallthrough: int, actual_target: int,
+                    actual_exit: int, actual_btype: int) -> None:
+        """One block's worth of functional warming, allocation-free.
+
+        Produces exactly the state a serialized
+        ``predict -> (restore + note_actual on target mispredict) ->
+        train`` round would — the in-order equivalent of the GT's
+        fetch-time predict / flush repair / commit-time train — without
+        building `Prediction`/`Checkpoint` objects.  Used by
+        :class:`repro.sampling.ffwd.FastForwarder`.
+        """
+        static = self.config.kind == "static"
+        bi = (addr >> 7) & 0x7FFFFFFF
+        li = bi % self.n_lht
+        lhist = self.lht[li]
+        # -- predicted exit (predict())
+        if static:
+            exit_no = 0
+            pbt = BT_BRANCH
+        else:
+            if self.config.kind == "gshare":
+                exit_no = self.gshare.exit[(bi ^ self.ghist)
+                                           % self.gshare.entries]
+            else:
+                use_global = self.choice[bi % self.n_choice] >= 2
+                exit_no = (self.gshare.exit[(bi ^ self.ghist)
+                                            % self.gshare.entries]
+                           if use_global else
+                           self.local.exit[(bi ^ (lhist * 7))
+                                           % self.local.entries])
+            pbt = self.btype[(bi ^ exit_no) % self.n_btype]
+        self.predictions += 1
+        # -- predicted target, with the speculative RAS effect held aside
+        if pbt == BT_RETURN:
+            target = self.ras[(self.ras_top - 1) % self.RAS_ENTRIES] \
+                or fallthrough
+        elif pbt == BT_CALL:
+            target = self.ctb[bi % self.n_ctb] or fallthrough
+        else:
+            target = self.btb[(bi ^ exit_no) % self.n_btb] or fallthrough
+        # -- history: predicted exit survives only when the target was
+        # right (a wrong target restores the checkpoint and re-pushes the
+        # architectural exit); the RAS keeps its speculative pop/push
+        # likewise only on a correct prediction
+        if target != actual_target:
+            pushed = actual_exit
+        else:
+            pushed = exit_no
+            if pbt == BT_RETURN:
+                self.ras_top = (self.ras_top - 1) % self.RAS_ENTRIES
+            elif pbt == BT_CALL:
+                self.ras[self.ras_top] = fallthrough
+                self.ras_top = (self.ras_top + 1) % self.RAS_ENTRIES
+        self.ghist = ((self.ghist << 3) | pushed) & self.hist_mask
+        self.lht[li] = ((lhist << 3) | pushed) & self.hist_mask
+        # -- train(), which reads the post-push global history
+        if static:
+            return
+        local_index = bi ^ (lhist * 7)
+        global_index = bi ^ self.ghist
+        local_was = self.local.predict(local_index)
+        global_was = self.gshare.predict(global_index)
+        self.local.update(local_index, actual_exit)
+        self.gshare.update(global_index, actual_exit)
+        if (local_was == actual_exit) != (global_was == actual_exit):
+            ci = bi % self.n_choice
+            if global_was == actual_exit:
+                self.choice[ci] = min(3, self.choice[ci] + 1)
+            else:
+                self.choice[ci] = max(0, self.choice[ci] - 1)
+        self.btype[(bi ^ actual_exit) % self.n_btype] = actual_btype
+        if actual_btype == BT_CALL:
+            self.ctb[bi % self.n_ctb] = actual_target
+        elif actual_btype == BT_BRANCH:
+            self.btb[(bi ^ actual_exit) % self.n_btb] = actual_target
+        if exit_no != actual_exit:
+            self.exit_mispredicts += 1
+        if target != actual_target:
+            self.target_mispredicts += 1
+
     def _ghist_at(self, bi: int) -> int:
         # Training uses the current global history as an approximation of
         # the history at prediction time; with in-order commit and
         # checkpoint repair the drift is bounded by the window depth.
         return self.ghist
+
+    # ------------------------------------------------------------------
+    # warm-state snapshot (repro.sampling checkpoints)
+    def state_dict(self) -> dict:
+        """Every mutable table, JSON-serializable and exact."""
+        return {
+            "local_exit": list(self.local.exit),
+            "local_conf": list(self.local.conf),
+            "gshare_exit": list(self.gshare.exit),
+            "gshare_conf": list(self.gshare.conf),
+            "choice": list(self.choice),
+            "lht": list(self.lht),
+            "ghist": self.ghist,
+            "btb": list(self.btb),
+            "ctb": list(self.ctb),
+            "btype": list(self.btype),
+            "ras": list(self.ras),
+            "ras_top": self.ras_top,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore tables captured by :meth:`state_dict` (sizes must
+        match — the predictor must be built from the same config)."""
+        for name, want in (("local_exit", self.local.entries),
+                           ("gshare_exit", self.gshare.entries),
+                           ("choice", self.n_choice), ("lht", self.n_lht),
+                           ("btb", self.n_btb), ("ctb", self.n_ctb),
+                           ("btype", self.n_btype),
+                           ("ras", self.RAS_ENTRIES)):
+            if len(state[name]) != want:
+                raise ValueError(f"predictor state {name!r} has "
+                                 f"{len(state[name])} entries, want {want}")
+        self.local.exit = list(state["local_exit"])
+        self.local.conf = list(state["local_conf"])
+        self.gshare.exit = list(state["gshare_exit"])
+        self.gshare.conf = list(state["gshare_conf"])
+        self.choice = list(state["choice"])
+        self.lht = list(state["lht"])
+        self.ghist = state["ghist"]
+        self.btb = list(state["btb"])
+        self.ctb = list(state["ctb"])
+        self.btype = list(state["btype"])
+        self.ras = list(state["ras"])
+        self.ras_top = state["ras_top"]

@@ -195,7 +195,7 @@ class TripsProcessor:
     def __init__(self, program: Program, config: TripsConfig = PROTOTYPE,
                  trace: bool = False, memory: Optional[BackingStore] = None,
                  sysmem=None, sysmem_port_base: int = 0,
-                 telemetry=None):
+                 telemetry=None, checkpoint=None):
         """``memory``/``sysmem`` may be supplied externally to share them
         between the chip's two cores (see :class:`repro.chip.TripsChip`);
         ``sysmem_port_base`` selects which OCN ports this core's IT/DT
@@ -204,7 +204,11 @@ class TripsProcessor:
         retention bound) instead of a bool.  ``telemetry`` enables the
         :mod:`repro.telemetry` probe layer: pass ``True`` or a
         :class:`~repro.telemetry.config.TelemetryConfig`; when left
-        ``None`` every probe site reduces to one pointer compare."""
+        ``None`` every probe site reduces to one pointer compare.
+        ``checkpoint`` resumes from a
+        :class:`~repro.sampling.checkpoint.ArchCheckpoint` instead of the
+        program entry: registers, memory and warm predictor/cache state
+        are overwritten and the first fetch targets the checkpoint PC."""
         program.validate()
         self.program = program
         self.config = config
@@ -300,6 +304,9 @@ class TripsProcessor:
             self.tel = TelemetryRecorder(tel_config)
             self.tel.attach(self)
 
+        if checkpoint is not None:
+            checkpoint.apply(self)
+
     # ------------------------------------------------------------------
     # coordinates / helpers used by the tiles
     # ------------------------------------------------------------------
@@ -345,10 +352,17 @@ class TripsProcessor:
     # ------------------------------------------------------------------
     # main loop
     # ------------------------------------------------------------------
-    def run(self) -> ProcStats:
+    def run(self, until_blocks: Optional[int] = None) -> ProcStats:
+        """Run to HALT, or — for the sampling driver — until
+        ``stats.blocks_committed`` reaches ``until_blocks`` (the partial
+        stats returned are a consistent commit-boundary reading; call
+        again to continue)."""
         cfg = self.config
         fast = cfg.fast_path
         while not self.halted:
+            if until_blocks is not None \
+                    and self.stats.blocks_committed >= until_blocks:
+                break
             if self.cycle >= cfg.max_cycles:
                 raise ProcError(
                     f"cycle budget {cfg.max_cycles} exhausted "

@@ -12,10 +12,10 @@ from __future__ import annotations
 from ..tir import Array, Assign, BinOp, Const, F, For, If, Load, Store, TirProgram, V
 
 
-def a2time01() -> TirProgram:
+def a2time01(size: int = 1) -> TirProgram:
     """Angle-to-time conversion: per-tooth engine calculations with
-    divides and range checks."""
-    teeth = 24
+    divides and range checks.  ``size`` multiplies the tooth count."""
+    teeth = 24 * size
     pulses = [(1000 + ((i * 317) % 213)) for i in range(teeth)]
     body = [
         Assign("total", Const(0)),
@@ -33,16 +33,17 @@ def a2time01() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "a2time01",
+        "a2time01" if size == 1 else f"a2time01x{size}",
         arrays={"pulse": Array("i64", pulses),
                 "out": Array("i64", [0] * teeth)},
         scalars={"total": 0},
         body=body, outputs=["out", "total"])
 
 
-def bezier02() -> TirProgram:
-    """Fixed-point cubic Bezier curve evaluation at 24 parameter steps."""
-    steps = 24
+def bezier02(size: int = 1) -> TirProgram:
+    """Fixed-point cubic Bezier curve evaluation at 24 parameter steps
+    (``size`` multiplies the step count)."""
+    steps = 24 * size
     # control points in 8.8 fixed point
     px = [10 * 256, 60 * 256, 180 * 256, 250 * 256]
     py = [20 * 256, 200 * 256, 10 * 256, 220 * 256]
@@ -68,16 +69,17 @@ def bezier02() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "bezier02",
+        "bezier02" if size == 1 else f"bezier02x{size}",
         arrays={"cx": Array("i64", px), "cy": Array("i64", py),
                 "outx": Array("i64", [0] * steps),
                 "outy": Array("i64", [0] * steps)},
         body=body, outputs=["outx", "outy"])
 
 
-def basefp01() -> TirProgram:
-    """Basic floating point: fused add/mul/div chains over a small array."""
-    n = 32
+def basefp01(size: int = 1) -> TirProgram:
+    """Basic floating point: fused add/mul/div chains over a small array
+    (``size`` multiplies its length)."""
+    n = 32 * size
     data = [0.5 + 0.125 * i for i in range(n)]
     body = [
         Assign("acc", F(1.0)),
@@ -92,15 +94,15 @@ def basefp01() -> TirProgram:
         ], unroll=2),
     ]
     return TirProgram(
-        "basefp01",
+        "basefp01" if size == 1 else f"basefp01x{size}",
         arrays={"a": Array("f64", data), "out": Array("f64", [0.0] * n)},
         body=body, outputs=["out"])
 
 
-def rspeed01() -> TirProgram:
+def rspeed01(size: int = 1) -> TirProgram:
     """Road-speed calculation: debounced pulse intervals with branchy
-    validity filtering."""
-    n = 48
+    validity filtering.  ``size`` multiplies the pulse-train length."""
+    n = 48 * size
     raw = [((i * 53) % 40) + (200 if (i % 7) else 15) for i in range(n)]
     body = [
         Assign("speed", Const(0)),
@@ -120,22 +122,24 @@ def rspeed01() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "rspeed01",
+        "rspeed01" if size == 1 else f"rspeed01x{size}",
         arrays={"pulses": Array("i64", raw),
                 "trace": Array("i64", [0] * n)},
         scalars={"speed": 0, "valid": 0, "last": 0},
         body=body, outputs=["trace", "speed", "valid"])
 
 
-def tblook01() -> TirProgram:
+def tblook01(size: int = 1) -> TirProgram:
     """Table lookup with linear interpolation: the classic EEMBC pattern
-    of a search loop plus fixed-point interpolation arithmetic."""
+    of a search loop plus fixed-point interpolation arithmetic.
+    ``size`` multiplies the query count."""
     entries = 16
+    nq = 24 * size
     xs = [i * i * 4 for i in range(entries)]            # monotone keys
     ys = [1000 - 3 * i * i for i in range(entries)]
-    queries = [(q * 61) % (xs[-1]) for q in range(24)]
+    queries = [(q * 61) % (xs[-1]) for q in range(nq)]
     body = [
-        For("q", 0, 24, 1, [
+        For("q", 0, nq, 1, [
             Assign("key", Load("queries", V("q"))),
             # linear search for the bracketing segment
             Assign("idx", Const(0)),
@@ -156,8 +160,8 @@ def tblook01() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "tblook01",
+        "tblook01" if size == 1 else f"tblook01x{size}",
         arrays={"xs": Array("i64", xs), "ys": Array("i64", ys),
                 "queries": Array("i64", queries),
-                "out": Array("i64", [0] * 24)},
+                "out": Array("i64", [0] * nq)},
         body=body, outputs=["out"])

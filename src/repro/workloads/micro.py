@@ -13,47 +13,61 @@ def _f(op, a, b):
     return BinOp(op, a, b)
 
 
-def dct8x8() -> TirProgram:
-    """Two-pass 8x8 DCT-II on f64 (one macroblock, as in JPEG/MPEG)."""
+def dct8x8(size: int = 1) -> TirProgram:
+    """Two-pass 8x8 DCT-II on f64 (as in JPEG/MPEG).
+
+    ``size`` is the macroblock count: 1 reproduces the original
+    single-macroblock program bit-for-bit; larger values process a frame
+    of ``size`` macroblocks (a full QCIF luma frame is size=396).
+    """
     n = 8
-    pixels = [float((i * 7 + j * 13) % 64 - 32) for i in range(n)
-              for j in range(n)]
+    pixels = [float((i * 7 + j * 13 + m) % 64 - 32) for m in range(size)
+              for i in range(n) for j in range(n)]
     cos_tab = [math.cos((2 * x + 1) * u * math.pi / (2 * n))
                for u in range(n) for x in range(n)]
-    body = [
-        # rows: tmp[u + i*8] = sum_x pix[x + i*8] * cos[u*8 + x]
-        For("i", 0, n, 1, [
-            For("u", 0, n, 1, [
-                Assign("acc", F(0.0)),
-                For("x", 0, n, 1, [
-                    Assign("acc", _f("fadd", V("acc"),
-                                     _f("fmul",
-                                        Load("pix", V("i") * n + V("x")),
-                                        Load("costab", V("u") * n + V("x"))))),
+
+    def passes(base):
+        return [
+            # rows: tmp[u + i*8] = sum_x pix[x + i*8] * cos[u*8 + x]
+            For("i", 0, n, 1, [
+                For("u", 0, n, 1, [
+                    Assign("acc", F(0.0)),
+                    For("x", 0, n, 1, [
+                        Assign("acc", _f("fadd", V("acc"),
+                                         _f("fmul",
+                                            Load("pix", base + V("i") * n + V("x")) if size > 1
+                                            else Load("pix", V("i") * n + V("x")),
+                                            Load("costab", V("u") * n + V("x"))))),
+                    ]),
+                    Store("tmp", V("i") * n + V("u"), V("acc")),
                 ]),
-                Store("tmp", V("i") * n + V("u"), V("acc")),
             ]),
-        ]),
-        # columns: out[u*8 + v] = sum_y tmp[y*8 + v] * cos[u*8 + y]
-        For("v", 0, n, 1, [
-            For("u", 0, n, 1, [
-                Assign("acc", F(0.0)),
-                For("y", 0, n, 1, [
-                    Assign("acc", _f("fadd", V("acc"),
-                                     _f("fmul",
-                                        Load("tmp", V("y") * n + V("v")),
-                                        Load("costab", V("u") * n + V("y"))))),
+            # columns: out[u*8 + v] = sum_y tmp[y*8 + v] * cos[u*8 + y]
+            For("v", 0, n, 1, [
+                For("u", 0, n, 1, [
+                    Assign("acc", F(0.0)),
+                    For("y", 0, n, 1, [
+                        Assign("acc", _f("fadd", V("acc"),
+                                         _f("fmul",
+                                            Load("tmp", V("y") * n + V("v")),
+                                            Load("costab", V("u") * n + V("y"))))),
+                    ]),
+                    (Store("out", base + V("u") * n + V("v"), V("acc")) if size > 1
+                     else Store("out", V("u") * n + V("v"), V("acc"))),
                 ]),
-                Store("out", V("u") * n + V("v"), V("acc")),
             ]),
-        ]),
-    ]
+        ]
+
+    if size == 1:
+        body = passes(None)
+    else:
+        body = [For("m", 0, size, 1, passes(V("m") * (n * n)))]
     return TirProgram(
-        "dct8x8",
+        "dct8x8" if size == 1 else f"dct8x8x{size}",
         arrays={"pix": Array("f64", pixels),
                 "costab": Array("f64", cos_tab),
                 "tmp": Array("f64", [0.0] * (n * n)),
-                "out": Array("f64", [0.0] * (n * n))},
+                "out": Array("f64", [0.0] * (n * n * size))},
         body=body, outputs=["out"])
 
 
@@ -137,10 +151,12 @@ def sha() -> TirProgram:
         body=body, outputs=["digest"])
 
 
-def vadd() -> TirProgram:
+def vadd(size: int = 1) -> TirProgram:
     """Streaming f64 vector add: bounded by L1 bandwidth (TRIPS has four
-    DT ports against the baseline's two -> the paper's ~2x speedup cap)."""
-    n = 128
+    DT ports against the baseline's two -> the paper's ~2x speedup cap).
+
+    ``size`` multiplies the vector length (128 elements at size=1)."""
+    n = 128 * size
     a = [float(i) * 0.5 for i in range(n)]
     b = [float(n - i) * 0.25 for i in range(n)]
     body = [
@@ -150,7 +166,7 @@ def vadd() -> TirProgram:
         ], unroll=8),
     ]
     return TirProgram(
-        "vadd",
+        "vadd" if size == 1 else f"vaddx{size}",
         arrays={"a": Array("f64", a), "b": Array("f64", b),
                 "c": Array("f64", [0.0] * n)},
         body=body, outputs=["c"])

@@ -5,14 +5,17 @@ from __future__ import annotations
 from typing import Callable, Dict, List
 
 from ..tir import TirProgram
-from . import eembc, kernels, micro, spec
+from . import eembc, kernels, micro, spec, synth
 
-#: suite name -> ordered benchmark list (Table 3 row order).
+#: suite name -> ordered benchmark list (Table 3 row order).  ``synth``
+#: holds machine-generated programs promoted from the fuzzing corpus
+#: (see :mod:`repro.workloads.synth` for their provenance).
 SUITES: Dict[str, List[str]] = {
     "micro": ["dct8x8", "matrix", "sha", "vadd"],
     "kernels": ["cfar", "conv", "ct", "genalg", "pm", "qr", "svd"],
     "eembc": ["a2time01", "bezier02", "basefp01", "rspeed01", "tblook01"],
     "spec": ["mcf", "parser", "bzip2", "twolf", "mgrid"],
+    "synth": list(synth.SYNTH_NAMES),
 }
 
 ALL_WORKLOADS: Dict[str, Callable[[], TirProgram]] = {
@@ -37,6 +40,10 @@ ALL_WORKLOADS: Dict[str, Callable[[], TirProgram]] = {
     "bzip2": spec.bzip2,
     "twolf": spec.twolf,
     "mgrid": spec.mgrid,
+    "guarded_slots_phi": synth.guarded_slots_phi,
+    "ifconv_block_limit": synth.ifconv_block_limit,
+    "srisc_addr_cse": synth.srisc_addr_cse,
+    "wheel_deferred_wake": synth.wheel_deferred_wake,
 }
 
 #: workloads the paper reports hand-optimized numbers for (Table 3 has no
@@ -45,18 +52,40 @@ ALL_WORKLOADS: Dict[str, Callable[[], TirProgram]] = {
 HAND_OPTIMIZED = [name for suite in ("micro", "kernels", "eembc")
                   for name in SUITES[suite]]
 
+#: workloads whose factories accept a ``size`` multiplier (size=1 is
+#: bit-identical to the unscaled program; larger sizes grow the input —
+#: more DCT macroblocks, longer mcf chains, bigger EEMBC iteration
+#: counts — for sampled simulation).
+SCALABLE = frozenset({
+    "dct8x8", "vadd", "mcf", "parser", "bzip2",
+    "a2time01", "bezier02", "basefp01", "rspeed01", "tblook01",
+})
+
 
 def workload_names() -> List[str]:
     return [name for suite in SUITES.values() for name in suite]
 
 
-def get_workload(name: str) -> TirProgram:
-    """Build a fresh TIR program for the named benchmark."""
+def get_workload(name: str, size: int = 1) -> TirProgram:
+    """Build a fresh TIR program for the named benchmark.
+
+    ``size`` scales the input for workloads in :data:`SCALABLE`
+    (``size=1`` always reproduces the original program exactly); passing
+    ``size > 1`` for any other workload is an error.
+    """
     try:
         factory = ALL_WORKLOADS[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; known: {workload_names()}") from None
-    program = factory()
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if size == 1:
+        program = factory()
+    elif name in SCALABLE:
+        program = factory(size=size)
+    else:
+        raise ValueError(f"workload {name!r} does not scale; "
+                         f"scalable workloads: {sorted(SCALABLE)}")
     program.validate()
     return program

@@ -18,10 +18,14 @@ from __future__ import annotations
 from ..tir import Array, Assign, BinOp, Const, F, For, If, Load, Store, TirProgram, V, While
 
 
-def mcf() -> TirProgram:
+def mcf(size: int = 1) -> TirProgram:
     """Pointer chasing: repeatedly walk successor chains of a shuffled
-    ring, accumulating costs — the mcf network-simplex character."""
-    n = 64
+    ring, accumulating costs — the mcf network-simplex character.
+
+    ``size`` multiplies both the graph (64 nodes at size=1) and the walk
+    length, so larger sizes chase longer chains over a bigger footprint.
+    """
+    n = 64 * size
     # a stride-27 permutation ring (27 is coprime with 64 -> one cycle)
     succ = [(i + 27) % n for i in range(n)]
     cost = [((i * 31) % 23) - 11 for i in range(n)]
@@ -38,16 +42,18 @@ def mcf() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "mcf",
+        "mcf" if size == 1 else f"mcfx{size}",
         arrays={"succ": Array("i64", succ), "cost": Array("i64", cost)},
         scalars={"node": 0, "total": 0},
         body=body, outputs=["total", "cost"])
 
 
-def parser() -> TirProgram:
+def parser(size: int = 1) -> TirProgram:
     """Dictionary word matching over a byte stream: compare each input
-    token against a word list, byte by byte, with early-out branches."""
-    text = b"the cat sat on the mat with a hat "
+    token against a word list, byte by byte, with early-out branches.
+
+    ``size`` multiplies the scanned text length."""
+    text = b"the cat sat on the mat with a hat " * size
     words = [b"the ", b"cat ", b"rat ", b"mat ", b"hat ", b"bat "]
     dict_bytes = b"".join(w for w in words)
     wlen = 4
@@ -75,17 +81,20 @@ def parser() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "parser",
+        "parser" if size == 1 else f"parserx{size}",
         arrays={"text": Array("u8", list(text)),
                 "dict": Array("u8", list(dict_bytes))},
         scalars={"matches": 0, "pos": 0},
         body=body, outputs=["matches"])
 
 
-def bzip2() -> TirProgram:
+def bzip2(size: int = 1) -> TirProgram:
     """Move-to-front transform over a 48-byte buffer — bzip2's inner
-    coding loop: a search loop plus a data-shifting loop per symbol."""
-    data = [ord(c) for c in "abracadabra_abracadabra_banana_band_anagram_mass"]
+    coding loop: a search loop plus a data-shifting loop per symbol.
+
+    ``size`` multiplies the input stream length."""
+    data = [ord(c) for c in
+            "abracadabra_abracadabra_banana_band_anagram_mass" * size]
     body = [
         # initialize the MTF alphabet table 0..255 is overkill; 32 symbols
         For("i", 0, 128, 1, [Store("table", V("i"), V("i"))]),
@@ -105,7 +114,7 @@ def bzip2() -> TirProgram:
         ]),
     ]
     return TirProgram(
-        "bzip2",
+        "bzip2" if size == 1 else f"bzip2x{size}",
         arrays={"data": Array("u8", data),
                 "table": Array("i64", [0] * 128),
                 "out": Array("i64", [0] * len(data))},

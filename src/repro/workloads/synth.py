@@ -1,0 +1,69 @@
+"""Synthetic benchmarks promoted from the differential-fuzzing corpus.
+
+Each program here began life as a minimized fuzzing counterexample in
+``tests/fuzz/corpus/`` — a machine-generated TIR program that once
+exposed a real simulator or compiler bug.  The four promoted entries are
+kept as first-class registry workloads because they exercise corners no
+hand-written kernel reaches (guarded-slot phi webs, if-conversion cost
+cliffs, baseline address-CSE aliasing, deferred-load wakeup timing) and
+therefore make the Table 3 sweeps and engine-equivalence tests strictly
+more adversarial.
+
+The programs are stored as exact-JSON :mod:`repro.tir.serialize` payloads
+next to this module (``synth/<name>.json``), with the original corpus
+entry's ``reason`` string preserved as provenance.  They are
+machine-generated and tiny (1-15 blocks), so they carry no hand-optimized
+level and are not scalable.
+"""
+
+from __future__ import annotations
+
+import json
+from functools import lru_cache
+from pathlib import Path
+from typing import Dict, List
+
+from ..tir import TirProgram
+from ..tir.serialize import program_from_dict
+
+SYNTH_DIR = Path(__file__).resolve().parent / "synth"
+
+#: registry order (suite row order in Table 3).
+SYNTH_NAMES: List[str] = [
+    "guarded_slots_phi",
+    "ifconv_block_limit",
+    "srisc_addr_cse",
+    "wheel_deferred_wake",
+]
+
+
+@lru_cache(maxsize=None)
+def _entry(name: str) -> Dict:
+    path = SYNTH_DIR / f"{name}.json"
+    return json.loads(path.read_text())
+
+
+def provenance(name: str) -> Dict[str, str]:
+    """Where a synthetic benchmark came from and which bug it exposed."""
+    entry = _entry(name)
+    return {"origin": entry["origin"], "reason": entry["reason"]}
+
+
+def _load(name: str) -> TirProgram:
+    return program_from_dict(_entry(name)["program"])
+
+
+def guarded_slots_phi() -> TirProgram:
+    return _load("guarded_slots_phi")
+
+
+def ifconv_block_limit() -> TirProgram:
+    return _load("ifconv_block_limit")
+
+
+def srisc_addr_cse() -> TirProgram:
+    return _load("srisc_addr_cse")
+
+
+def wheel_deferred_wake() -> TirProgram:
+    return _load("wheel_deferred_wake")

@@ -1,0 +1,51 @@
+"""The fast-forwarder must be architecturally exact, not approximately.
+
+It is the master timeline of every sampled run: block counts, instruction
+counts and final memory/register images all come from it, so it is held
+to bit-identity against the reference functional simulator on the whole
+suite — including the fuzz-promoted synth programs, whose whole purpose
+is to poke semantic corners (division overflow, non-finite float
+conversion, predicate webs) where a compiled fast path might cut one.
+"""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.sampling import FastForwarder
+from repro.uarch.config import TripsConfig
+from repro.uarch.functional import FunctionalSim
+from repro.workloads import get_workload, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_bit_identical_to_functional_sim(name):
+    program = compile_tir(get_workload(name), level="tcc").program
+    ff = FastForwarder(program, TripsConfig(), warm=True)
+    ff.run()
+    ref = FunctionalSim(program)
+    ref.run()
+    assert list(ff.regs) == list(ref.regs)
+    assert dict(ff.memory.touched_pages()) == \
+        dict(ref.memory.touched_pages())
+    assert ff.fallback_blocks == 0
+
+
+def test_scaled_workload_is_exact_too():
+    program = compile_tir(get_workload("mcf", size=8), level="tcc").program
+    ff = FastForwarder(program, TripsConfig(), warm=True)
+    ff.run()
+    ref = FunctionalSim(program)
+    ref.run()
+    assert list(ff.regs) == list(ref.regs)
+    assert ff.stats.blocks == ref.stats.blocks
+    assert ff.stats.fired == ref.stats.fired
+
+
+def test_warming_does_not_change_architecture():
+    program = compile_tir(get_workload("a2time01"), level="tcc").program
+    warm = FastForwarder(program, TripsConfig(), warm=True)
+    warm.run()
+    cold = FastForwarder(program, TripsConfig(), warm=False)
+    cold.run()
+    assert list(warm.regs) == list(cold.regs)
+    assert warm.stats.blocks == cold.stats.blocks

@@ -1,0 +1,109 @@
+"""The sampling driver: geometry validation, accuracy, degeneration.
+
+The accuracy assertions here are deliberate under-claims of what
+BENCH_sampling.json demonstrates at full scale (<=2% at ~2% coverage) —
+at test-suite sizes the window counts are small, so the tolerance is 5%.
+What must hold *exactly* even here: block/instruction totals (the
+fast-forwarder is the master timeline) and architectural outputs.
+"""
+
+import pytest
+
+from repro.compiler import compile_tir
+from repro.harness.runner import run_trips_workload
+from repro.sampling import SamplingConfig, run_sampled_workload
+from repro.sampling.sampler import run_sampled_program
+from repro.uarch.config import TripsConfig
+
+
+class TestSamplingConfig:
+    def test_roundtrip(self):
+        cfg = SamplingConfig(interval_blocks=1234, warmup_blocks=56,
+                             measure_blocks=78, offset_blocks=9,
+                             warm_horizon=1000, jitter=0.1)
+        assert SamplingConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_rejects_overlapping_windows(self):
+        with pytest.raises(ValueError, match="overlap"):
+            SamplingConfig(interval_blocks=600, warmup_blocks=200,
+                           measure_blocks=300).validate()
+
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            SamplingConfig(interval_blocks=0).validate()
+        with pytest.raises(ValueError):
+            SamplingConfig(measure_blocks=-1).validate()
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        cfg = SamplingConfig(interval_blocks=1000, jitter=0.25)
+        starts = [cfg.window_start(k) for k in range(50)]
+        assert starts == [cfg.window_start(k) for k in range(50)]
+        for k, start in enumerate(starts):
+            assert abs(start - k * 1000) <= 250
+        # the stagger actually staggers: not all offsets identical
+        assert len({start - k * 1000 for k, start in enumerate(starts)}) > 5
+
+    def test_zero_jitter_is_strictly_periodic(self):
+        cfg = SamplingConfig(interval_blocks=1000, offset_blocks=7,
+                             jitter=0.0)
+        assert [cfg.window_start(k) for k in range(3)] == [7, 1007, 2007]
+
+
+class TestSampledRuns:
+    def test_totals_are_exact_and_outputs_validate(self):
+        sampling = SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                                  measure_blocks=120)
+        run = run_sampled_workload("mcf", level="tcc", size=8,
+                                   sampling=sampling)
+        full = run_trips_workload("mcf", level="tcc", size=8)
+        s = run.sampled
+        assert s.blocks_total == full.stats.blocks_committed
+        assert s.insts_total == full.stats.insts_committed
+        assert s.reads_total == full.stats.reads_committed
+        assert run.fallback_blocks == 0
+
+    @pytest.mark.parametrize("name,size", [("mcf", 32), ("a2time01", 128)])
+    def test_estimate_tracks_ground_truth(self, name, size):
+        # test-suite sizes give only ~15-30 windows, so the bound here is
+        # looser than the ~2% BENCH_sampling.json shows at full scale
+        sampling = SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                                  measure_blocks=120)
+        run = run_sampled_workload(name, level="tcc", size=size,
+                                   sampling=sampling)
+        full = run_trips_workload(name, level="tcc", size=size)
+        err = run.sampled.cycles_est / full.stats.cycles - 1.0
+        assert abs(err) < 0.06, f"{name}x{size}: {100 * err:+.2f}% error"
+        assert run.sampled.windows >= 10
+
+    def test_short_program_degenerates_to_full_simulation(self):
+        # vadd (size 1) ends before the first default-geometry window:
+        # the fallback is one full-length window == exact full simulation
+        run = run_sampled_workload("vadd", level="tcc")
+        full = run_trips_workload("vadd", level="tcc")
+        s = run.sampled
+        assert s.windows == 1
+        assert s.coverage == 1.0
+        assert s.cycles_est == full.stats.cycles
+        assert s.ipc_est == pytest.approx(full.stats.ipc)
+
+    def test_telemetry_one_summary_per_window(self):
+        from repro.workloads import get_workload
+        sampling = SamplingConfig(interval_blocks=800, warmup_blocks=60,
+                                  measure_blocks=100)
+        program = compile_tir(get_workload("mcf", size=8),
+                              level="tcc").program
+        sampled, _, summaries = run_sampled_program(
+            program, config=TripsConfig(), sampling=sampling,
+            telemetry=True)
+        assert len(summaries) == sampled.windows
+        assert all(isinstance(s, dict) and s for s in summaries)
+
+    def test_serialization_roundtrip(self):
+        from repro.sampling import SampledProcStats
+        sampling = SamplingConfig(interval_blocks=800, warmup_blocks=60,
+                                  measure_blocks=100)
+        run = run_sampled_workload("mcf", level="tcc", size=8,
+                                   sampling=sampling)
+        data = run.sampled.to_dict()
+        back = SampledProcStats.from_dict(data)
+        assert back.to_dict() == data

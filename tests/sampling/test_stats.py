@@ -1,0 +1,73 @@
+"""Aggregation math: means, Student-t intervals, extrapolation."""
+
+import json
+import math
+
+import pytest
+
+from repro.sampling import SampledProcStats, WindowSample, aggregate, t95
+
+
+def _window(start, blocks, cycles, insts=None, **counters):
+    return WindowSample(start_block=start, blocks=blocks, cycles=cycles,
+                        insts=insts if insts is not None else blocks * 4,
+                        reads=blocks, counters=counters)
+
+
+class TestT95:
+    def test_known_quantiles(self):
+        assert t95(1) == pytest.approx(12.706)
+        assert t95(10) == pytest.approx(2.228)
+        assert t95(1000) == pytest.approx(1.960)
+
+    def test_degenerate(self):
+        assert t95(0) == float("inf")
+
+
+class TestAggregate:
+    def test_uniform_windows_are_exact_with_zero_ci(self):
+        windows = [_window(k * 100, 10, 250) for k in range(5)]
+        s = aggregate(windows, blocks_total=1000, insts_total=4000,
+                      reads_total=1000)
+        assert s.cycles_est == pytest.approx(25.0 * 1000)
+        assert s.cycles_ci == pytest.approx(0.0)
+        assert s.ipc_est == pytest.approx(4000 / 25000)
+        assert s.windows == 5
+        assert s.coverage == pytest.approx(50 / 1000)
+
+    def test_ci_shrinks_with_more_windows(self):
+        # alternating CPB 20/30: same mean, CI must tighten as n grows
+        def ci(n):
+            windows = [_window(k, 10, 200 if k % 2 else 300)
+                       for k in range(n)]
+            return aggregate(windows, 1000, 4000, 1000).cycles_ci
+        assert ci(16) < ci(4)
+
+    def test_single_window_has_infinite_ci(self):
+        s = aggregate([_window(0, 10, 250)], 10, 40, 10)
+        assert math.isinf(s.cycles_ci)
+        assert math.isinf(s.ipc_ci)
+        assert s.cycles_est == pytest.approx(250.0)
+
+    def test_rates_extrapolate(self):
+        windows = [_window(k, 10, 250, blocks_flushed=2) for k in range(4)]
+        s = aggregate(windows, 1000, 4000, 1000)
+        assert s.rates["blocks_flushed"] == pytest.approx(200.0)
+        assert s.rates_ci["blocks_flushed"] == pytest.approx(0.0)
+
+    def test_empty_windows_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate([], 10, 10, 10)
+        with pytest.raises(ValueError):
+            aggregate([_window(0, 0, 0)], 10, 10, 10)
+
+    def test_json_roundtrip_is_lossless(self):
+        windows = [_window(k * 97, 9 + k, 251 + 7 * k, gdn_messages=k)
+                   for k in range(7)]
+        s = aggregate(windows, 12345, 67890, 11111)
+        wire = json.dumps(s.to_dict(), sort_keys=True)
+        back = SampledProcStats.from_dict(json.loads(wire))
+        assert json.dumps(back.to_dict(), sort_keys=True) == wire
+        assert back.cycles_est == s.cycles_est
+        assert [WindowSample.from_dict(w).to_dict()
+                for w in back.window_detail] == s.window_detail

@@ -46,8 +46,38 @@ class TestKeyStability:
         assert RunSpec.compare("vadd", hand=True).key != \
             RunSpec.compare("vadd", hand=False).key
 
+    def test_size_and_sampling_feed_the_key(self):
+        base = RunSpec.trips("mcf", level="tcc")
+        assert base.key != RunSpec.trips("mcf", level="tcc", size=8).key
+        sampled = RunSpec.trips(
+            "mcf", level="tcc",
+            sampling={"interval_blocks": 500, "warmup_blocks": 50,
+                      "measure_blocks": 100})
+        assert base.key != sampled.key
+        assert sampled.key != RunSpec.trips(
+            "mcf", level="tcc",
+            sampling={"interval_blocks": 800, "warmup_blocks": 50,
+                      "measure_blocks": 100}).key
+
+    def test_sampling_dict_order_does_not_change_the_key(self):
+        a = RunSpec.trips("mcf", sampling={"interval_blocks": 500,
+                                           "warmup_blocks": 50})
+        b = RunSpec.trips("mcf", sampling={"warmup_blocks": 50,
+                                           "interval_blocks": 500})
+        assert a.key == b.key
+
 
 class TestRoundTrip:
+    def test_sampled_spec_round_trips(self):
+        spec = RunSpec.trips("mcf", level="tcc", size=32,
+                             sampling={"interval_blocks": 800,
+                                       "warmup_blocks": 80,
+                                       "measure_blocks": 120})
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.key == spec.key
+        assert clone.sampling_config() == spec.sampling_config()
+
     def test_dict_round_trip_preserves_identity(self):
         spec = RunSpec.compare("conv", hand=True,
                                config=TripsConfig(opn_links_per_hop=2))

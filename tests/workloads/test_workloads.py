@@ -21,16 +21,26 @@ NAMES = workload_names()
 
 
 class TestRegistry:
-    def test_twenty_one_benchmarks(self):
-        assert len(NAMES) == 21
-        assert len(set(NAMES)) == 21
+    def test_suite_size(self):
+        # the paper's 21 benchmarks plus the promoted fuzz-corpus synths
+        assert len(NAMES) == 21 + len(SUITES["synth"])
+        assert len(set(NAMES)) == len(NAMES)
+        assert len(SUITES["synth"]) == 4
 
     def test_suites_cover_all(self):
         assert sorted(n for s in SUITES.values() for n in s) == sorted(NAMES)
-        assert set(SUITES) == {"micro", "kernels", "eembc", "spec"}
+        assert set(SUITES) == {"micro", "kernels", "eembc", "spec", "synth"}
 
     def test_spec_not_hand_optimized(self):
         assert set(SUITES["spec"]) & set(HAND_OPTIMIZED) == set()
+        assert set(SUITES["synth"]) & set(HAND_OPTIMIZED) == set()
+
+    def test_synth_provenance(self):
+        from repro.workloads.synth import provenance
+        for name in SUITES["synth"]:
+            info = provenance(name)
+            assert info["origin"].startswith("tests/fuzz/corpus/")
+            assert info["reason"]
 
     def test_unknown_name(self):
         with pytest.raises(KeyError, match="unknown workload"):
