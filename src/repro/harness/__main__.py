@@ -14,11 +14,20 @@ Usage::
     python -m repro.harness inspect <workload> [--level hand|tcc]
                                     [--mem l2perfect|nuca]
                                     [--perfetto out.json] [--json]
+    python -m repro.harness diff <specA> <specB> [--cache DIR]
+                                 [--workers N] [--top N] [--json]
 
 ``inspect`` runs one workload with the :mod:`repro.telemetry` probe
 layer enabled and prints the per-tile utilization heatmap and
 stall-attribution table; ``--perfetto`` additionally exports a
 Chrome/Perfetto trace-event timeline.
+
+``diff`` compares two telemetry runs (served from the simlab cache,
+simulated on a miss) and attributes the cycle delta to the stall
+taxonomy, per-tile shifts, and per-link traffic movers.  Specs use the
+``workload[@level][/mem][+flag|-flag ...]`` grammar — e.g.
+``harness diff 'vadd@hand/l2perfect' 'vadd@hand/nuca'`` asks where the
+NUCA hierarchy spends its extra cycles (see :mod:`repro.metrics.diff`).
 
 ``run --sample`` switches to sampled + checkpointed simulation
 (:mod:`repro.sampling`): architectural results stay exact, cycles/IPC
@@ -131,6 +140,21 @@ def main(argv=None) -> int:
                        help="also export a Perfetto trace-event JSON")
     ins_p.add_argument("--json", action="store_true",
                        help="emit the telemetry summary as JSON")
+    diff_p = sub.add_parser(
+        "diff", help="attribute the cycle delta between two configs")
+    diff_p.add_argument("spec_a", metavar="specA",
+                        help="baseline: workload[@level][/mem][±flag...]")
+    diff_p.add_argument("spec_b", metavar="specB",
+                        help="candidate, same grammar")
+    diff_p.add_argument("--cache", default=None, metavar="DIR",
+                        help="simlab result-cache directory (default: "
+                             "the simlab default cache)")
+    diff_p.add_argument("--workers", type=int, default=0, metavar="N",
+                        help="simlab worker processes (0 = serial)")
+    diff_p.add_argument("--top", type=int, default=8, metavar="N",
+                        help="rows per movers table (default 8)")
+    diff_p.add_argument("--json", action="store_true",
+                        help="emit the attribution report as JSON")
 
     args = parser.parse_args(argv)
     if args.command == "table1":
@@ -234,6 +258,22 @@ def main(argv=None) -> int:
             print(f"wrote {args.perfetto} "
                   f"({len(doc['traceEvents'])} trace events)",
                   file=sys.stderr)
+    elif args.command == "diff":
+        from ..metrics.diff import DiffError, diff_specs, render_diff
+        from ..simlab.cache import DEFAULT_CACHE_DIR
+        cache = ResultCache(args.cache or DEFAULT_CACHE_DIR)
+        try:
+            report = diff_specs(
+                args.spec_a, args.spec_b, cache=cache,
+                workers=args.workers,
+                log=lambda message: print(message, file=sys.stderr))
+        except DiffError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render_diff(report, top=args.top))
     return 0
 
 

@@ -66,7 +66,8 @@ def table3_rows(workloads: Optional[Sequence[str]] = None,
                 include_performance: bool = True,
                 workers: int = 0,
                 cache: Optional[ResultCache] = None,
-                log: Optional[Callable[[str], None]] = None) -> List[Dict]:
+                log: Optional[Callable[[str], None]] = None,
+                metrics=None) -> List[Dict]:
     """One Table 3 row per benchmark.
 
     Columns: the seven critical-path categories (percent, measured at the
@@ -82,7 +83,8 @@ def table3_rows(workloads: Optional[Sequence[str]] = None,
     way.
     """
     specs, layout = table3_specs(workloads, config, include_performance)
-    results = run_specs(specs, workers=workers, cache=cache, log=log)
+    results = run_specs(specs, workers=workers, cache=cache, log=log,
+                        metrics=metrics)
     rows = []
     for name, hand_available, trips_index, baseline_index, tcc_index \
             in layout:

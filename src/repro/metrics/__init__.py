@@ -1,0 +1,36 @@
+"""repro.metrics: fleet-level observability for the experiment platform.
+
+PR 4's :mod:`repro.telemetry` answers "where did the cycles go" *inside*
+one simulated processor; this package answers the same question about
+the platform that runs thousands of those simulations.  Four pieces
+share one registry:
+
+* **Registry** (:mod:`repro.metrics.registry`) — process-local
+  counters/gauges/histograms with labels; deterministic exposition.
+* **Event log** (:mod:`repro.metrics.events`) — append-only JSONL job
+  lifecycle spans (submit → queued → start → retry/timeout →
+  finish/cache-hit) written next to the simlab result cache, with a
+  schema validator and a replay that rebuilds the registry from disk.
+* **Exposition** (:mod:`repro.metrics.expo`) — Prometheus text format
+  and a JSON snapshot behind ``python -m repro.simlab metrics``, with
+  git/host/time provenance.
+* **Dashboards and diffs** — ``simlab watch`` (:mod:`~.watch`) tails
+  the event log into a live terminal view; ``harness diff``
+  (:mod:`~.diff`) attributes the cycle delta between two cached runs to
+  the stall taxonomy, per-tile shifts, and per-link traffic movers.
+
+The instrumentation discipline is PR 4's: every probe site in
+:mod:`repro.simlab` is one ``if metrics is not None`` guard, so a run
+without metrics is byte-identical to the pre-metrics code path, and the
+simulator core itself is never touched at all.
+
+This substrate is what the simlab-as-a-service layer (ROADMAP) will
+expose over HTTP: admission control, priorities, and warm-cache
+eviction stats all read these counters.
+"""
+
+from .events import EventLog, FleetMetrics, default_events_path
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["Counter", "EventLog", "FleetMetrics", "Gauge", "Histogram",
+           "MetricsRegistry", "default_events_path"]

@@ -1,0 +1,226 @@
+"""Format gates for the observability layer.
+
+Two validators, both used by the ``metrics-smoke`` CI job and the
+tests:
+
+* :func:`lint_prometheus` — holds an exposition to the Prometheus
+  text-format rules: ``# TYPE``/``# HELP`` before samples, legal metric
+  and label names, parseable values, no duplicate sample keys, and the
+  histogram contract (cumulative non-decreasing ``le`` buckets, a
+  ``+Inf`` bucket equal to ``_count``).
+* event-log validation — every JSONL line against the lifecycle schema
+  (delegated to :func:`repro.metrics.events.check_events`).
+
+Run it directly::
+
+    python -m repro.metrics.check --prom metrics.prom \\
+                                  --events .simlab-cache/events.jsonl
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .events import check_events
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)(?:\s+(?P<ts>\S+))?$")
+_LABEL_RE = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+#: suffixes a histogram family may expose samples under
+_HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _split_labels(text: str) -> Optional[List[Tuple[str, str]]]:
+    """Parse the {...} interior; None on malformed label syntax."""
+    if not text:
+        return []
+    pairs = []
+    # split on commas not inside quoted values (backslash escapes kept)
+    parts: List[str] = []
+    in_quotes = escaped = False
+    current = ""
+    for char in text:
+        if escaped:
+            current += char
+            escaped = False
+            continue
+        if char == "\\" and in_quotes:
+            current += char
+            escaped = True
+            continue
+        if char == '"':
+            in_quotes = not in_quotes
+        if char == "," and not in_quotes:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+    parts.append(current)
+    for part in parts:
+        part = part.strip()
+        if not part:
+            continue
+        match = _LABEL_RE.match(part)
+        if not match:
+            return None
+        pairs.append((match.group("name"), match.group("value")))
+    return pairs
+
+
+def _family(name: str, types: Dict[str, str]) -> Optional[str]:
+    """The declared family a sample name belongs to, if any."""
+    if name in types:
+        return name
+    for suffix in _HIST_SUFFIXES:
+        if name.endswith(suffix) and name[:-len(suffix)] in types:
+            return name[:-len(suffix)]
+    return None
+
+
+def lint_prometheus(text: str) -> List[str]:
+    """Exposition-format errors ([] = clean)."""
+    errors: List[str] = []
+    types: Dict[str, str] = {}
+    helped: Dict[str, bool] = {}
+    seen: set = set()
+    buckets: Dict[Tuple[str, tuple], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[str, tuple], float] = {}
+    lines = text.splitlines()
+    if not lines:
+        return ["exposition is empty"]
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue                      # arbitrary comment: allowed
+            name = parts[2]
+            if not _NAME_RE.match(name):
+                errors.append(f"line {i}: bad metric name {name!r}")
+                continue
+            if parts[1] == "TYPE":
+                kind = parts[3].strip() if len(parts) > 3 else ""
+                if kind not in _TYPES:
+                    errors.append(f"line {i}: unknown type {kind!r}")
+                elif name in types:
+                    errors.append(f"line {i}: duplicate TYPE for {name}")
+                else:
+                    types[name] = kind
+            else:
+                helped[name] = True
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"line {i}: unparseable sample {line!r}")
+            continue
+        name = match.group("name")
+        labels = _split_labels(match.group("labels") or "")
+        if labels is None:
+            errors.append(f"line {i}: malformed labels in {line!r}")
+            continue
+        try:
+            value = float(match.group("value"))
+        except ValueError:
+            errors.append(f"line {i}: bad value {match.group('value')!r}")
+            continue
+        family = _family(name, types)
+        if family is None:
+            errors.append(f"line {i}: sample {name!r} has no # TYPE")
+            continue
+        kind = types[family]
+        if kind == "counter" and not name.endswith("_total"):
+            errors.append(f"line {i}: counter {name!r} should end _total")
+        if kind == "counter" and value < 0:
+            errors.append(f"line {i}: counter {name!r} is negative")
+        key = (name, tuple(sorted(labels)))
+        if key in seen:
+            errors.append(f"line {i}: duplicate sample {name}"
+                          f"{dict(labels)!r}")
+        seen.add(key)
+        if kind == "histogram":
+            plain = tuple(sorted(p for p in labels if p[0] != "le"))
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {i}: bucket sample without le")
+                    continue
+                bound = float("inf") if le == "+Inf" else float(le)
+                buckets.setdefault((family, plain), []).append(
+                    (bound, value))
+            elif name.endswith("_count"):
+                counts[(family, plain)] = value
+            elif name == family:
+                errors.append(f"line {i}: histogram {family} exposes a "
+                              f"bare sample")
+    for name in types:
+        if not helped.get(name):
+            errors.append(f"metric {name}: # TYPE without # HELP")
+    for (family, plain), series in sorted(buckets.items()):
+        ordered = sorted(series)
+        values = [v for _, v in ordered]
+        if values != sorted(values):
+            errors.append(f"histogram {family}{dict(plain)!r}: buckets "
+                          f"not cumulative")
+        if not ordered or ordered[-1][0] != float("inf"):
+            errors.append(f"histogram {family}{dict(plain)!r}: "
+                          f"missing +Inf bucket")
+        elif (family, plain) in counts \
+                and counts[(family, plain)] != ordered[-1][1]:
+            errors.append(f"histogram {family}{dict(plain)!r}: +Inf "
+                          f"bucket != _count")
+    return errors
+
+
+def main(argv=None) -> int:
+    import argparse
+    parser = argparse.ArgumentParser(
+        prog="repro.metrics.check",
+        description="Validate Prometheus expositions and simlab event "
+                    "logs.")
+    parser.add_argument("--prom", action="append", default=[],
+                        metavar="FILE",
+                        help="Prometheus text exposition to lint")
+    parser.add_argument("--events", action="append", default=[],
+                        metavar="FILE",
+                        help="simlab event log (JSONL) to validate")
+    args = parser.parse_args(argv)
+    if not args.prom and not args.events:
+        parser.error("nothing to check: pass --prom and/or --events")
+    failed = False
+    for path in args.prom:
+        try:
+            text = open(path).read()
+        except OSError as exc:
+            print(f"{path}: unreadable: {exc}", file=sys.stderr)
+            failed = True
+            continue
+        errors = lint_prometheus(text)
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: OK ({len(text.splitlines())} lines)")
+    for path in args.events:
+        errors = check_events(path)
+        for error in errors:
+            print(f"{path}: {error}", file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            n = sum(1 for _ in open(path))
+            print(f"{path}: OK ({n} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

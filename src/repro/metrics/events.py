@@ -1,0 +1,256 @@
+"""The simlab event log: append-only JSONL job-lifecycle spans.
+
+One line per event, written next to the result cache
+(``<cache-dir>/events.jsonl`` by default), so the log survives the
+sweep process and ``simlab watch`` / ``simlab metrics`` can observe a
+fleet they did not start.  Parent and worker processes append to the
+same file; each line is one small ``O_APPEND`` write, which POSIX keeps
+atomic, so concurrent writers interleave but never tear.
+
+The lifecycle vocabulary (one sweep's trace, in causal order)::
+
+    sweep_begin                      the sweep declares its job count
+      submit      per job            a cache miss enters the queue
+      cache_hit   per job            served from the result cache
+      queued      per job            handed to the worker pool
+      start       per job/attempt    a worker began executing (its pid)
+      finish      per job            the attempt succeeded (elapsed_s)
+      retry       per job/fault      exception | timeout | crash
+      fail        per job            second failure — the sweep aborts
+    sweep_end                        totals and wall time
+
+Every event carries ``schema``, ``ts`` (unix seconds), ``event``, and
+``pid``; per-event required fields are in :data:`EVENT_FIELDS` and
+enforced by :func:`validate_event` (the CI schema gate).
+
+:func:`replay_into` folds a recorded log back into a
+:class:`~repro.metrics.registry.MetricsRegistry` — the canonical
+definition of the fleet-level metrics, shared by the live executor
+instruments and the post-hoc ``simlab metrics`` exposition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .registry import MetricsRegistry
+
+#: bump when the event layout changes; old logs then fail validation.
+SCHEMA = 1
+
+#: default log filename, created next to the simlab result cache.
+DEFAULT_EVENTS_NAME = "events.jsonl"
+
+#: event name -> fields required beyond the common envelope.
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "sweep_begin": ("jobs", "workers"),
+    "submit": ("key", "label", "kind"),
+    "cache_hit": ("key", "label"),
+    "queued": ("key",),
+    "start": ("key",),
+    "finish": ("key", "elapsed_s"),
+    "retry": ("key", "cause"),
+    "fail": ("key", "error"),
+    "sweep_end": ("jobs", "done", "cache_hits", "retries", "failed",
+                  "elapsed_s"),
+}
+
+#: causes a retry event may carry (parallel faults + in-job exceptions).
+RETRY_CAUSES = ("exception", "timeout", "crash")
+
+
+def default_events_path(cache_dir) -> Path:
+    """Where a sweep using ``cache_dir`` keeps its event log."""
+    return Path(cache_dir) / DEFAULT_EVENTS_NAME
+
+
+class EventLog:
+    """Append-only JSONL writer; safe for many processes, one file."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+
+    def emit(self, event: str, **fields) -> None:
+        if event not in EVENT_FIELDS:
+            raise ValueError(f"unknown event {event!r}")
+        record = {"schema": SCHEMA, "ts": round(time.time(), 6),
+                  "event": event, "pid": os.getpid(), **fields}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as fh:
+            fh.write(line)
+
+    def truncate(self) -> None:
+        """Start a fresh log (a new sweep over the same cache dir)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+
+
+def validate_event(record) -> List[str]:
+    """Schema errors for one parsed event object ([] = valid)."""
+    if not isinstance(record, dict):
+        return ["event is not an object"]
+    errors = []
+    if record.get("schema") != SCHEMA:
+        errors.append(f"schema is {record.get('schema')!r}, "
+                      f"expected {SCHEMA}")
+    name = record.get("event")
+    if name not in EVENT_FIELDS:
+        errors.append(f"unknown event {name!r}")
+        return errors
+    if not isinstance(record.get("ts"), (int, float)):
+        errors.append("ts missing or not a number")
+    if not isinstance(record.get("pid"), int):
+        errors.append("pid missing or not an int")
+    for field in EVENT_FIELDS[name]:
+        if field not in record:
+            errors.append(f"{name}: missing field {field!r}")
+    if name == "retry" and record.get("cause") not in RETRY_CAUSES:
+        errors.append(f"retry: bad cause {record.get('cause')!r}")
+    if name == "finish" \
+            and not isinstance(record.get("elapsed_s"), (int, float)):
+        errors.append("finish: elapsed_s not a number")
+    return errors
+
+
+def read_events(path) -> Iterator[Dict]:
+    """Parsed events in file order; unparseable lines are skipped
+    (a line being written this instant reads as truncated — that is a
+    tailing artifact, not corruption)."""
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+    except OSError:
+        return
+
+
+def check_events(path) -> List[str]:
+    """Every line must parse and validate; the CI gate over a full log."""
+    errors: List[str] = []
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    if not lines:
+        errors.append("event log is empty")
+    for i, line in enumerate(lines, start=1):
+        if not line.strip():
+            errors.append(f"line {i}: blank")
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            errors.append(f"line {i}: not JSON ({exc})")
+            continue
+        errors.extend(f"line {i}: {error}"
+                      for error in validate_event(record))
+    return errors
+
+
+def replay_into(registry: MetricsRegistry,
+                events: Iterable[Dict]) -> MetricsRegistry:
+    """Fold an event stream into fleet metrics.
+
+    This is the single definition of how lifecycle events become
+    counters — the live executor increments the same metrics with the
+    same semantics, so ``simlab metrics`` over a finished log agrees
+    with what the sweep process would have exposed.
+    """
+    events_total = registry.counter(
+        "simlab_events_total", "lifecycle events recorded", ("event",))
+    jobs = registry.counter(
+        "simlab_jobs_total", "jobs by final outcome", ("outcome",))
+    retries = registry.counter(
+        "simlab_job_retries_total", "job retries by cause", ("cause",))
+    job_seconds = registry.histogram(
+        "simlab_job_seconds", "per-attempt job wall time")
+    sweeps = registry.counter("simlab_sweeps_total", "sweeps recorded")
+    for record in events:
+        name = record.get("event")
+        if name not in EVENT_FIELDS:
+            continue
+        events_total.inc(event=name)
+        if name == "sweep_begin":
+            sweeps.inc()
+        elif name == "cache_hit":
+            jobs.inc(outcome="cache_hit")
+        elif name == "finish":
+            jobs.inc(outcome="done")
+            job_seconds.observe(float(record.get("elapsed_s", 0.0)))
+        elif name == "retry":
+            cause = record.get("cause")
+            if cause in RETRY_CAUSES:
+                retries.inc(cause=cause)
+        elif name == "fail":
+            jobs.inc(outcome="failed")
+    return registry
+
+
+class FleetMetrics:
+    """The executor's instrument bundle: one registry + optional log.
+
+    Passed as ``metrics=`` to :func:`repro.simlab.executor.run_specs`
+    and :class:`repro.simlab.cache.ResultCache`; every instrumented site
+    guards with ``if metrics is not None``, so the default (no metrics)
+    costs one pointer compare and produces byte-identical results.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 events: Optional[EventLog] = None):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.events = events
+        self.jobs = self.registry.counter(
+            "simlab_jobs_total", "jobs by final outcome", ("outcome",))
+        self.retries = self.registry.counter(
+            "simlab_job_retries_total", "job retries by cause", ("cause",))
+        self.job_seconds = self.registry.histogram(
+            "simlab_job_seconds", "per-attempt job wall time")
+        self.queue_depth = self.registry.gauge(
+            "simlab_queue_depth", "jobs submitted but not yet finished")
+        self.workers = self.registry.gauge(
+            "simlab_workers", "worker processes of the current sweep")
+        self.cache_hits = self.registry.counter(
+            "simlab_cache_hits_total", "result-cache lookups served")
+        self.cache_misses = self.registry.counter(
+            "simlab_cache_misses_total", "result-cache lookups missed")
+        self.cache_put_bytes = self.registry.counter(
+            "simlab_cache_put_bytes_total", "bytes written to the cache")
+
+    @classmethod
+    def for_cache_dir(cls, cache_dir) -> "FleetMetrics":
+        """The standard wiring: log next to the cache, fresh per sweep."""
+        return cls(events=EventLog(default_events_path(cache_dir)))
+
+    def emit(self, event: str, **fields) -> None:
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    @property
+    def events_path(self) -> Optional[str]:
+        """Worker-visible log path (pickled into job payload kwargs)."""
+        return None if self.events is None else str(self.events.path)
+
+    def counts(self) -> Dict[str, int]:
+        """The sweep-summary numbers, read back from the registry."""
+        return {
+            "done": int(self.jobs.value(outcome="done")),
+            "cache_hits": int(self.jobs.value(outcome="cache_hit")),
+            "failed": int(self.jobs.value(outcome="failed")),
+            "retries": int(self.retries.total()),
+            "timeouts": int(self.retries.value(cause="timeout")),
+            "crashes": int(self.retries.value(cause="crash")),
+        }

@@ -27,12 +27,20 @@ DEFAULT_CACHE_DIR = ".simlab-cache"
 
 
 class ResultCache:
-    """Keyed JSON records with hit/miss accounting."""
+    """Keyed JSON records with hit/miss accounting.
 
-    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR):
+    ``metrics`` (optional, a :class:`~repro.metrics.events.FleetMetrics`)
+    mirrors the hit/miss/put-bytes tallies into the fleet registry;
+    every site is guarded by ``if self.metrics is not None`` so the
+    default cache is untouched by the observability layer.
+    """
+
+    def __init__(self, root: os.PathLike = DEFAULT_CACHE_DIR,
+                 metrics=None):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.metrics = metrics
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -43,13 +51,16 @@ class ResultCache:
         try:
             record = json.loads(self._path(key).read_text())
         except (OSError, ValueError):
-            self.misses += 1
-            return None
+            record = None
         if not isinstance(record, dict) or record.get("schema") != SCHEMA \
                 or "result" not in record:
             self.misses += 1
+            if self.metrics is not None:
+                self.metrics.cache_misses.inc()
             return None
         self.hits += 1
+        if self.metrics is not None:
+            self.metrics.cache_hits.inc()
         return record
 
     def put(self, key: str, record: Dict[str, Any]) -> None:
@@ -60,8 +71,11 @@ class ResultCache:
         # Key order is preserved, NOT sorted: result dicts round-trip in
         # insertion order, so cached table rows render column-identical
         # to freshly simulated ones.
-        tmp.write_text(json.dumps(record))
+        blob = json.dumps(record)
+        tmp.write_text(blob)
         os.replace(tmp, self._path(key))
+        if self.metrics is not None:
+            self.metrics.cache_put_bytes.inc(len(blob))
 
     # -- maintenance -----------------------------------------------------
     def records(self) -> Iterator[Tuple[Path, Dict[str, Any]]]:
@@ -96,14 +110,41 @@ class ResultCache:
         return removed
 
     def summary(self) -> Dict[str, Any]:
-        """Entry count / byte size / fingerprint census for ``status``."""
+        """The census behind ``simlab status``: entry count, byte size,
+        fingerprints, per-suite/per-kind breakdown, entry-age range."""
         entries = 0
         size = 0
         fingerprints: Dict[str, int] = {}
+        suites: Dict[str, int] = {}
+        kinds: Dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        suite_of = _workload_suites()
         for path, record in self.records():
             entries += 1
             size += path.stat().st_size
-            fp = record.get("spec", {}).get("fingerprint", "?")
+            spec = record.get("spec", {})
+            fp = spec.get("fingerprint", "?")
             fingerprints[fp] = fingerprints.get(fp, 0) + 1
+            kind = spec.get("kind", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+            suite = suite_of.get(spec.get("workload"), "other")
+            suites[suite] = suites.get(suite, 0) + 1
+            created = record.get("created")
+            if isinstance(created, (int, float)):
+                oldest = created if oldest is None else min(oldest,
+                                                            created)
+                newest = created if newest is None else max(newest,
+                                                            created)
         return {"dir": str(self.root), "entries": entries, "bytes": size,
-                "fingerprints": fingerprints}
+                "fingerprints": fingerprints, "suites": suites,
+                "kinds": kinds, "oldest_created": oldest,
+                "newest_created": newest}
+
+
+def _workload_suites() -> Dict[str, str]:
+    """workload name -> suite, for the status census (lazy import: the
+    registry pulls in every workload module)."""
+    from ..workloads.registry import SUITES
+    return {name: suite for suite, names in SUITES.items()
+            for name in names}

@@ -16,6 +16,14 @@ Scheduling contract (the part the paper-reproduction sweeps rely on):
   A timeout or crash replaces the whole pool (terminating any hung
   worker) and resubmits the jobs that had not finished — their results
   are unaffected, only their wall-clock is.
+* **Observability, off by default.** With a
+  :class:`~repro.metrics.events.FleetMetrics` passed as ``metrics=``,
+  every lifecycle transition increments fleet counters and appends to
+  the JSONL event log (workers emit their own ``start``/``finish``
+  lines, so ``simlab watch`` sees true per-worker occupancy).  Every
+  site is guarded by ``if metrics is not None``; with the default
+  ``metrics=None`` the executor behaves — and its results are —
+  byte-identical to the uninstrumented code path.
 """
 
 from __future__ import annotations
@@ -135,12 +143,28 @@ def _selftest(payload: str) -> Dict[str, Any]:
     raise SimlabError(f"unknown selftest mode {mode!r}")
 
 
-def _execute_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Worker entry point: spec dict in, timed result envelope out."""
+def _execute_payload(payload: Dict[str, Any],
+                     events_path: Optional[str] = None,
+                     key: str = "") -> Dict[str, Any]:
+    """Worker entry point: spec dict in, timed result envelope out.
+
+    ``events_path`` (set only when the sweep carries metrics) makes the
+    worker append its own ``start``/``finish`` lifecycle events — the
+    parent only learns of completion when it collects the future, which
+    may be long after the fact.  A failed attempt emits no ``finish``;
+    the parent's ``retry``/``fail`` events cover it.
+    """
+    events = None
+    if events_path is not None:
+        from ..metrics.events import EventLog
+        events = EventLog(events_path)
+        events.emit("start", key=key)
     start = time.perf_counter()
     result = execute_spec(RunSpec.from_dict(payload))
-    return {"result": result,
-            "elapsed_s": round(time.perf_counter() - start, 4)}
+    elapsed = round(time.perf_counter() - start, 4)
+    if events is not None:
+        events.emit("finish", key=key, elapsed_s=elapsed)
+    return {"result": result, "elapsed_s": elapsed}
 
 
 # ----------------------------------------------------------------------
@@ -154,18 +178,25 @@ def resolve_workers(workers: Optional[int]) -> int:
 def run_specs(specs: Sequence[RunSpec], workers: int = 0,
               cache: Optional[ResultCache] = None,
               timeout: Optional[float] = None,
-              log: Optional[Logger] = None) -> List[Dict[str, Any]]:
+              log: Optional[Logger] = None,
+              metrics=None) -> List[Dict[str, Any]]:
     """Run every spec, returning result dicts aligned with ``specs``.
 
     ``workers=0`` executes serially in-process; ``workers=N`` fans out
     over N processes; ``workers=None`` uses one per CPU.  ``timeout`` is
     the per-job wait budget once collection reaches that job (parallel
-    mode only — a serial job runs to completion).
+    mode only — a serial job runs to completion).  ``metrics`` is an
+    optional :class:`~repro.metrics.events.FleetMetrics`; results are
+    identical with or without it.
     """
     log = log or (lambda message: None)
     workers = resolve_workers(workers)
     total = len(specs)
     results: List[Optional[Dict[str, Any]]] = [None] * total
+    start_t = time.perf_counter()
+    if metrics is not None:
+        metrics.workers.set(max(1, workers))
+        metrics.emit("sweep_begin", jobs=total, workers=workers)
 
     pending: List[int] = []
     for i, spec in enumerate(specs):
@@ -173,50 +204,92 @@ def run_specs(specs: Sequence[RunSpec], workers: int = 0,
         if record is not None:
             results[i] = record["result"]
             log(f"[simlab] {i + 1}/{total} hit   {spec.label}")
+            if metrics is not None:
+                metrics.jobs.inc(outcome="cache_hit")
+                metrics.emit("cache_hit", key=spec.key, label=spec.label)
         else:
             pending.append(i)
+            if metrics is not None:
+                metrics.emit("submit", key=spec.key, label=spec.label,
+                             kind=spec.kind)
+    if metrics is not None:
+        metrics.queue_depth.set(len(pending))
 
-    if not pending:
+    try:
+        if not pending:
+            return results
+        if workers <= 0:
+            _run_serial(specs, pending, results, cache, log, total,
+                        metrics)
+        else:
+            _run_parallel(specs, pending, results, workers, timeout,
+                          cache, log, total, metrics)
         return results
-    if workers <= 0:
-        _run_serial(specs, pending, results, cache, log, total)
-    else:
-        _run_parallel(specs, pending, results, workers, timeout, cache,
-                      log, total)
-    return results
+    finally:
+        if metrics is not None:
+            counts = metrics.counts()
+            metrics.queue_depth.set(0)
+            metrics.emit(
+                "sweep_end", jobs=total, done=counts["done"],
+                cache_hits=counts["cache_hits"],
+                retries=counts["retries"], failed=counts["failed"],
+                elapsed_s=round(time.perf_counter() - start_t, 4))
 
 
 def _record(spec: RunSpec, envelope: Dict[str, Any],
             results: List[Optional[Dict[str, Any]]], index: int,
-            cache: Optional[ResultCache], log: Logger, total: int) -> None:
+            cache: Optional[ResultCache], log: Logger, total: int,
+            metrics=None, remaining: int = 0) -> None:
     results[index] = envelope["result"]
     if cache is not None:
         cache.put(spec.key, {"spec": spec.to_dict(),
                              "result": envelope["result"],
                              "elapsed_s": envelope["elapsed_s"],
                              "created": time.time()})
+    if metrics is not None:
+        metrics.jobs.inc(outcome="done")
+        metrics.job_seconds.observe(envelope["elapsed_s"])
+        metrics.queue_depth.set(remaining)
     log(f"[simlab] {index + 1}/{total} done  {spec.label} "
         f"({envelope['elapsed_s']:.2f}s)")
+
+
+def _retry(metrics, spec: RunSpec, cause: str) -> None:
+    if metrics is not None:
+        metrics.retries.inc(cause=cause)
+        metrics.emit("retry", key=spec.key, cause=cause)
+
+
+def _fail(metrics, spec: RunSpec, exc: BaseException) -> None:
+    if metrics is not None:
+        metrics.jobs.inc(outcome="failed")
+        metrics.emit("fail", key=spec.key, error=repr(exc))
 
 
 def _run_serial(specs: Sequence[RunSpec], pending: Sequence[int],
                 results: List[Optional[Dict[str, Any]]],
                 cache: Optional[ResultCache], log: Logger,
-                total: int) -> None:
-    for i in pending:
+                total: int, metrics=None) -> None:
+    events_path = metrics.events_path if metrics is not None else None
+    for n, i in enumerate(pending):
         payload = specs[i].to_dict()
         try:
-            envelope = _execute_payload(payload)
+            envelope = _execute_payload(payload, events_path,
+                                        specs[i].key)
         except Exception as first:
             log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
                 f"({first!r})")
+            _retry(metrics, specs[i], "exception")
             try:
-                envelope = _execute_payload(payload)
+                envelope = _execute_payload(payload, events_path,
+                                            specs[i].key)
             except Exception as second:
+                _fail(metrics, specs[i], second)
                 raise SimlabError(
                     f"{specs[i].label}: failed after retry "
                     f"({second!r})") from second
-        _record(specs[i], envelope, results, i, cache, log, total)
+        _record(specs[i], envelope, results, i, cache, log, total,
+                metrics, remaining=len(pending) - n - 1)
 
 
 def _replace_pool(pool: ProcessPoolExecutor,
@@ -234,12 +307,19 @@ def _replace_pool(pool: ProcessPoolExecutor,
 def _run_parallel(specs: Sequence[RunSpec], pending: List[int],
                   results: List[Optional[Dict[str, Any]]], workers: int,
                   timeout: Optional[float], cache: Optional[ResultCache],
-                  log: Logger, total: int) -> None:
+                  log: Logger, total: int, metrics=None) -> None:
     payloads = {i: specs[i].to_dict() for i in pending}
+    events_path = metrics.events_path if metrics is not None else None
     pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(pool, i):
+        if metrics is not None:
+            metrics.emit("queued", key=specs[i].key)
+        return pool.submit(_execute_payload, payloads[i], events_path,
+                           specs[i].key)
+
     try:
-        futures = {i: pool.submit(_execute_payload, payloads[i])
-                   for i in pending}
+        futures = {i: submit(pool, i) for i in pending}
         retried = set()
         position = 0
         # Collect strictly in submission order: determinism costs nothing
@@ -253,28 +333,34 @@ def _run_parallel(specs: Sequence[RunSpec], pending: List[int],
                 # process): rebuild it and resubmit every unfinished job.
                 # Only the job being collected spends its retry; the
                 # others are victims and keep their budget.
+                cause = "timeout" if isinstance(exc, FutureTimeoutError) \
+                    else "crash"
                 if i in retried:
+                    _fail(metrics, specs[i], exc)
                     raise SimlabError(f"{specs[i].label}: failed after "
                                       f"retry ({exc!r})") from exc
                 retried.add(i)
                 log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
                     f"({type(exc).__name__})")
+                _retry(metrics, specs[i], cause)
                 pool = _replace_pool(pool, workers)
                 for j in pending[position:]:
                     if j == i or not futures[j].done():
-                        futures[j] = pool.submit(_execute_payload,
-                                                 payloads[j])
+                        futures[j] = submit(pool, j)
                 continue
             except Exception as exc:
                 if i in retried:
+                    _fail(metrics, specs[i], exc)
                     raise SimlabError(f"{specs[i].label}: failed after "
                                       f"retry ({exc!r})") from exc
                 retried.add(i)
                 log(f"[simlab] {i + 1}/{total} retry {specs[i].label} "
                     f"({exc!r})")
-                futures[i] = pool.submit(_execute_payload, payloads[i])
+                _retry(metrics, specs[i], "exception")
+                futures[i] = submit(pool, i)
                 continue
-            _record(specs[i], envelope, results, i, cache, log, total)
+            _record(specs[i], envelope, results, i, cache, log, total,
+                    metrics, remaining=len(pending) - position - 1)
             position += 1
     finally:
         pool.shutdown(wait=False, cancel_futures=True)

@@ -16,6 +16,12 @@ Track layout:
 * pid 2 ("OPN") — a counter track per router with its queue depth.
 * pid 3 ("memory") — OCN router queue depths and the NUCA/DRAM
   in-flight request counter (NUCA runs only).
+* pid 4 ("windows") — the run chopped into ~100 equal cycle windows,
+  each carrying three counter samples: blocks committed and blocks
+  flushed per window (block throughput over time) and the average
+  number of busy tiles (instantaneous parallelism).  These are the
+  coarse "shape of the run" tracks — zoom here first, then drill into
+  the per-tile spans.
 """
 
 from __future__ import annotations
@@ -23,11 +29,15 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional
 
-from .recorder import IDLE, TelemetryRecorder
+from .recorder import BUSY, IDLE, TelemetryRecorder
 
 _PID_CORE = 1
 _PID_OPN = 2
 _PID_MEM = 3
+_PID_WINDOWS = 4
+
+#: target number of counter samples per run for the windowed tracks
+_WINDOW_TARGET = 100
 
 _TID_GT = 0
 _TID_RT = 1          # R0..R3 -> 1..4
@@ -59,10 +69,51 @@ def _span(name: str, cat: str, ts: int, dur: int, pid: int, tid: int,
     return event
 
 
-def _counter(name: str, ts: int, value: int, pid: int,
+def _counter(name: str, ts: int, value: float, pid: int,
              series: str = "value") -> Dict:
     return {"ph": "C", "name": name, "ts": ts, "pid": pid, "tid": 0,
             "args": {series: value}}
+
+
+def _window_counters(recorder: TelemetryRecorder) -> List[Dict]:
+    """pid-4 windowed ProcStats time series (see module docstring).
+
+    The window width is ``ceil(cycles / _WINDOW_TARGET)`` cycles, so
+    short runs get one sample per cycle and long runs stay ~100 samples
+    per track regardless of length.
+    """
+    cycles = recorder.proc.cycle if recorder.proc is not None else 0
+    if cycles <= 0:
+        return []
+    window = max(1, -(-cycles // _WINDOW_TARGET))
+    n = -(-cycles // window)
+    committed = [0] * n
+    flushed = [0] * n
+    for span in recorder.block_spans.values():
+        if span.outcome == "committed" and span.commit_t >= 0:
+            committed[min(span.commit_t // window, n - 1)] += 1
+        elif span.outcome == "flushed" and span.flush_t >= 0:
+            flushed[min(span.flush_t // window, n - 1)] += 1
+    busy = [0] * n              # busy tile-cycles per window
+    for timeline in recorder.timelines.values():
+        for state, t0, t1 in timeline.runs:
+            if state != BUSY:
+                continue
+            for w in range(t0 // window, min((t1 - 1) // window, n - 1) + 1):
+                overlap = min(t1, (w + 1) * window) - max(t0, w * window)
+                busy[w] += overlap
+    events = [_meta("windows", _PID_WINDOWS, kind="process_name")]
+    for i in range(n):
+        ts = i * window
+        width = min(window, cycles - ts)    # last window may be short
+        events.append(_counter("blocks committed / window", ts,
+                               committed[i], _PID_WINDOWS, series="blocks"))
+        events.append(_counter("blocks flushed / window", ts,
+                               flushed[i], _PID_WINDOWS, series="blocks"))
+        events.append(_counter("busy tiles (avg)", ts,
+                               round(busy[i] / width, 2), _PID_WINDOWS,
+                               series="tiles"))
+    return events
 
 
 def build_trace(recorder: TelemetryRecorder) -> Dict:
@@ -139,6 +190,8 @@ def build_trace(recorder: TelemetryRecorder) -> Dict:
         for cycle, count in recorder.mem.series:
             events.append(_counter("NUCA in-flight", cycle, count,
                                    _PID_MEM, series="requests"))
+    # -- windowed ProcStats time series ---------------------------------
+    events.extend(_window_counters(recorder))
     return {"traceEvents": events}
 
 

@@ -2,9 +2,12 @@
 
 import json
 
+import pytest
+
 from repro.simlab import ResultCache, RunSpec, run_specs
 from repro.simlab.executor import execute_spec
 from repro.telemetry.recorder import TelemetrySummary
+from repro.uarch.config import TripsConfig
 
 
 def test_spec_round_trip_and_key():
@@ -39,3 +42,19 @@ def test_telemetry_summary_cached_and_replayed(tmp_path):
     second = run_specs([spec], cache=cache)[0]   # pure cache hit
     assert second == first
     assert second["telemetry"]["cycles"] == first["stats"]["cycles"]
+
+
+@pytest.mark.parametrize("fast_path", [True, False])
+def test_cached_summary_equals_fresh_run_on_both_engines(tmp_path,
+                                                         fast_path):
+    # the cache must be transparent on either engine tier: a summary
+    # that went through JSON + disk is equal to one computed in-process
+    config = TripsConfig(fast_path=fast_path)
+    spec = RunSpec.trips("vadd", config=config, telemetry=True)
+    fresh = execute_spec(spec)
+    cached = run_specs([spec], cache=ResultCache(tmp_path))[0]
+    replayed = run_specs([spec], cache=ResultCache(tmp_path))[0]
+    assert cached == fresh
+    assert replayed == fresh
+    assert TelemetrySummary.from_dict(replayed["telemetry"]) \
+        == TelemetrySummary.from_dict(fresh["telemetry"])
