@@ -9,8 +9,11 @@ Usage::
     python -m repro.harness floorplan
     python -m repro.harness run <workload> [--level hand|tcc] [--json]
                                 [--size N] [--sample [--interval B]
-                                [--warmup B] [--measure B]]
+                                [--warmup B] [--measure B] [--phases]
+                                [--phase-windows N] [--max-phases K]
+                                [--warm-horizon B]]
     python -m repro.harness sbench [--smoke] [--out FILE]
+                                   [--baseline FILE]
     python -m repro.harness inspect <workload> [--level hand|tcc]
                                     [--mem l2perfect|nuca]
                                     [--perfetto out.json] [--json]
@@ -119,6 +122,20 @@ def main(argv=None) -> int:
                        "(default 150)")
     run_p.add_argument("--measure", type=int, default=300, metavar="B",
                        help="measured blocks per window (default 300)")
+    run_p.add_argument("--phases", action="store_true",
+                       help="SimPoint-style phase clustering: pick "
+                       "windows by BBV similarity instead of stratified "
+                       "stride (see repro.sampling.phases)")
+    run_p.add_argument("--phase-windows", type=int, default=12,
+                       metavar="N", help="target window count under "
+                       "--phases (default 12)")
+    run_p.add_argument("--max-phases", type=int, default=8, metavar="K",
+                       help="k-means cluster ceiling under --phases "
+                       "(default 8)")
+    run_p.add_argument("--warm-horizon", type=int, default=None,
+                       metavar="B", help="bound functional warming to "
+                       "the last B blocks before each window (default: "
+                       "warm continuously)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the full stats record as JSON")
     sb_p = sub.add_parser(
@@ -127,6 +144,10 @@ def main(argv=None) -> int:
                       help="~10x smaller sizes for CI")
     sb_p.add_argument("--out", default="BENCH_sampling.json", metavar="FILE",
                       help="JSON report path (default BENCH_sampling.json)")
+    sb_p.add_argument("--baseline", default=None, metavar="FILE",
+                      help="earlier BENCH_sampling.json to diff against: "
+                      "exits 1 on a >10%% geomean speedup drop or "
+                      "realized-error growth past the target")
     sb_p.add_argument("--json", action="store_true",
                       help="emit the report on stdout as well")
     ins_p = sub.add_parser(
@@ -199,7 +220,11 @@ def main(argv=None) -> int:
         from ..sampling import SamplingConfig, run_sampled_workload
         sampling = SamplingConfig(interval_blocks=args.interval,
                                   warmup_blocks=args.warmup,
-                                  measure_blocks=args.measure)
+                                  measure_blocks=args.measure,
+                                  clustering=args.phases,
+                                  phase_windows=args.phase_windows,
+                                  max_phases=args.max_phases,
+                                  warm_horizon=args.warm_horizon)
         run = run_sampled_workload(args.workload, level=args.level,
                                    sampling=sampling, size=args.size)
         s = run.sampled
@@ -209,12 +234,29 @@ def main(argv=None) -> int:
                               "sampling": sampling.to_dict(),
                               "sampled": s.to_dict()}, indent=2))
         else:
+            ci_pct = 100 * s.cycles_ci / s.cycles_est if s.cycles_est \
+                else float("inf")
             print(f"{run.name} @ {args.level} (sampled): "
-                  f"{s.cycles_est:.0f} ± {s.cycles_ci:.0f} cycles, "
+                  f"{s.cycles_est:.0f} ± {s.cycles_ci:.0f} cycles "
+                  f"(95% CI ±{ci_pct:.2f}%), "
                   f"IPC {s.ipc_est:.2f} ± {s.ipc_ci:.2f}, "
-                  f"{s.blocks_total} blocks "
-                  f"({s.windows} windows, "
-                  f"{100 * s.coverage:.2f}% cycle-accurate coverage)")
+                  f"{s.blocks_total} blocks")
+            print(f"  {s.windows} realized windows, "
+                  f"{s.measured_blocks} measured blocks "
+                  f"({100 * s.coverage:.2f}% cycle-accurate coverage)"
+                  + (f", warm horizon {sampling.warm_horizon} blocks"
+                     if sampling.warm_horizon is not None else ""))
+            if s.phases:
+                windows_by_phase = {}
+                for detail in s.window_detail:
+                    phase = detail.get("phase", 0)
+                    windows_by_phase[phase] = \
+                        windows_by_phase.get(phase, 0) + 1
+                parts = [f"p{c} {100 * w:.1f}%"
+                         f"×{windows_by_phase.get(c, 0)}"
+                         for c, w in enumerate(s.phase_weights)]
+                print(f"  {s.phases} phases "
+                      f"(weight×windows): {', '.join(parts)}")
     elif args.command == "run":
         run = run_trips_workload(args.workload, level=args.level,
                                  size=args.size)
@@ -233,10 +275,12 @@ def main(argv=None) -> int:
     elif args.command == "sbench":
         from .sbench import run_sampling_bench
         report = run_sampling_bench(
-            smoke=args.smoke, out=args.out,
+            smoke=args.smoke, out=args.out, baseline=args.baseline,
             log=lambda message: print(message, file=sys.stderr))
         if args.json:
             print(json.dumps(report, indent=2))
+        if report.get("baseline_delta", {}).get("regressed"):
+            return 1
         if not args.smoke and not report["meets_targets"]:
             return 1
     elif args.command == "inspect":

@@ -44,6 +44,12 @@ class ArchCheckpoint:
     dcache: Optional[List[List[List[int]]]] = None
     mt_banks: Optional[List[List[List[int]]]] = None
     halted: bool = False
+    #: bounded-warming provenance: how many blocks the fast-forwarder
+    #: executed *unwarmed* before this snapshot (``warm_horizon`` runs).
+    #: Zero means continuously-warmed state; a large value means the tag
+    #: and predictor contents are that many blocks stale — the bias this
+    #: buys is measured by ``repro.sampling.validate.staleness_sweep``.
+    unwarmed_blocks: int = 0
 
     # -- codec (exact: ints + hex strings only) -------------------------
     def to_dict(self) -> dict:
@@ -54,6 +60,7 @@ class ArchCheckpoint:
             "insts": self.insts,
             "reads": self.reads,
             "halted": self.halted,
+            "unwarmed_blocks": self.unwarmed_blocks,
             "regs": list(self.regs),
             "pages": {str(addr): data.hex()
                       for addr, data in sorted(self.pages.items())},
@@ -71,6 +78,7 @@ class ArchCheckpoint:
         return cls(
             pc=data["pc"], blocks=data["blocks"], insts=data["insts"],
             reads=data.get("reads", 0), halted=data.get("halted", False),
+            unwarmed_blocks=data.get("unwarmed_blocks", 0),
             regs=list(data["regs"]),
             pages={int(addr): bytes.fromhex(image)
                    for addr, image in data["pages"].items()},
@@ -133,6 +141,7 @@ def take_checkpoint(ff: FastForwarder) -> ArchCheckpoint:
         insts=stats.fired,
         reads=stats.reads,
         halted=ff.halted,
+        unwarmed_blocks=ff.unwarmed_blocks,
         regs=list(ff.regs),
         pages={addr: image for addr, image in ff.memory.touched_pages()},
         predictor=predictor,

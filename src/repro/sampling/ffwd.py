@@ -37,6 +37,7 @@ detailed engine's ``lookup``/``fill`` discipline.
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..isa import EXIT_ADDRESS, OperandKind, Program, TripsBlock
@@ -51,6 +52,21 @@ from ..uarch.predictor import BT_BRANCH, BT_CALL, BT_RETURN, NextBlockPredictor
 
 MASK64 = 0xFFFFFFFFFFFFFFFF
 _SIGN = 0x8000000000000000
+
+#: FP opcodes whose IEEE-double bit casts are inlined into the compiled
+#: source instead of routed through ``semantics.binop`` — the dispatch
+#: chain plus per-call ``bits_to_float``/``float_to_bits`` round-trips
+#: is ~half the fast-forward time on FP-dense workloads (basefp01).
+#: Python floats *are* C doubles, so ``+``/``-``/``*`` and the ordered
+#: comparisons (NaN-unordered, like the lambdas they replace) are
+#: bit-identical to the ``semantics`` path.  FDIV keeps the call: its
+#: zero-divisor special cases don't belong in a template.
+_FINLINE = {Opcode.FADD: "+", Opcode.FSUB: "-", Opcode.FMUL: "*",
+            Opcode.FEQ: "==", Opcode.FNE: "!=", Opcode.FLT: "<",
+            Opcode.FLE: "<=", Opcode.FGT: ">", Opcode.FGE: ">="}
+_FARITH = {Opcode.FADD, Opcode.FSUB, Opcode.FMUL}
+_QS = struct.Struct("<Q")
+_DS = struct.Struct("<d")
 
 
 class BlockCompileError(Exception):
@@ -160,7 +176,12 @@ def _expr(inst, A: str, B: str) -> str:
         if name == "ge":
             return f"1 if ({A} ^ {_SIGN}) >= {ib ^ _SIGN} else 0"
         raise BlockCompileError(f"immediate op {name!r}")
-    if op in _BINOP:        # divide + every floating-point operator
+    if op in _FINLINE:
+        fa, fb = f"_du(_qp({A}))[0]", f"_du(_qp({B}))[0]"
+        if op in _FARITH:
+            return f"_qu(_dp({fa} {_FINLINE[op]} {fb}))[0]"
+        return f"1 if {fa} {_FINLINE[op]} {fb} else 0"
+    if op in _BINOP:        # divide + FDIV
         return f"_binop({_BINOP[op]!r}, {A}, {B})"
     if op in _UNOP:
         return f"_unop({_UNOP[op]!r}, {A})"
@@ -519,7 +540,9 @@ class _Compiler:
 
         source = "\n".join(self.lines) + "\n"
         namespace = {"N": NULL_TOKEN, "SimError": SimError, "_ld": _ld,
-                     "_binop": semantics.binop, "_unop": semantics.unop}
+                     "_binop": semantics.binop, "_unop": semantics.unop,
+                     "_qp": _QS.pack, "_qu": _QS.unpack,
+                     "_dp": _DS.pack, "_du": _DS.unpack}
         exec(compile(source, f"<ffwd:{block.name}>", "exec"), namespace)
         fn = namespace[name]
         fn.__ffwd_source__ = source
@@ -549,14 +572,28 @@ class FastForwarder(FunctionalSim):
       theirs (``mt_banks`` is ``None`` under ``perfect_l2``),
     * ``run_blocks(n)`` — stop at a block boundary for checkpointing.
 
-    ``warm=False`` skips all of that and just executes fast.
+    ``warm=False`` skips all of that and just executes fast (~3.5x the
+    warm throughput); ``unwarmed_blocks`` counts how many blocks ran
+    that way, so a checkpoint can report how stale its warm state is.
+
+    ``bbv_interval=N`` additionally accumulates one basic-block vector
+    (static block address -> committed count) per N retired blocks — the
+    raw material for :mod:`~repro.sampling.phases`.  The counts ride the
+    per-block dispatch that ``step_block`` already does, so collection
+    costs one dict increment per block on top of the compiled closures.
     """
 
     def __init__(self, program: Program, config: TripsConfig = PROTOTYPE,
-                 warm: bool = True, max_blocks: int = 2_000_000):
+                 warm: bool = True, max_blocks: int = 2_000_000,
+                 bbv_interval: Optional[int] = None):
         super().__init__(program, max_blocks)
         self.config = config
         self.warm = warm
+        self.unwarmed_blocks = 0
+        self.bbv_interval = bbv_interval
+        self.bbvs: List[Dict[int, int]] = []
+        self._bbv_cur: Optional[Dict[int, int]] = \
+            {} if bbv_interval else None
         self.predictor = NextBlockPredictor(config.predictor)
         self.icache = [CacheBank(config.l1i_bank_kb * 1024,
                                  config.l1i_assoc, 128) for _ in range(5)]
@@ -608,12 +645,53 @@ class FastForwarder(FunctionalSim):
             nx, ex, bt, ma, msa = fn(self)
             if self.warm:
                 self._warm_block(addr, nx, ex, bt, ma, msa)
+            else:
+                self.unwarmed_blocks += 1
         st.blocks += 1
         st.block_visits[addr] = st.block_visits.get(addr, 0) + 1
+        cur = self._bbv_cur
+        if cur is not None:
+            cur[addr] = cur.get(addr, 0) + 1
+            if st.blocks % self.bbv_interval == 0:
+                self.bbvs.append(cur)
+                self._bbv_cur = {}
         if nx == EXIT_ADDRESS:
             self.halted = True
         else:
             self.pc = nx
+
+    def bbv_vectors(self) -> List[Dict[int, int]]:
+        """The per-interval basic-block vectors collected so far,
+        including the trailing partial interval (if any)."""
+        out = list(self.bbvs)
+        if self._bbv_cur:
+            out.append(dict(self._bbv_cur))
+        return out
+
+    def restore_arch(self, ckpt) -> None:
+        """Jump *forward* to an architectural snapshot taken by an
+        earlier cold pass over the same program (deterministic functional
+        execution makes its state at any block boundary exact).
+
+        Only ``pc``/``regs``/``memory`` and the exact-progress counters
+        are overwritten; warm predictor/cache state is left untouched —
+        exactly what executing the skipped stretch with ``warm=False``
+        would have done — so a bounded-warming (``warm_horizon``)
+        measurement pass can skip its cold stretches outright instead of
+        re-executing them.  The skipped blocks are charged to
+        ``unwarmed_blocks`` to keep staleness provenance honest."""
+        st = self.stats
+        if ckpt.blocks < st.blocks:
+            raise ValueError("restore_arch only jumps forward")
+        self.unwarmed_blocks += ckpt.blocks - st.blocks
+        self.pc = ckpt.pc
+        self.halted = ckpt.halted
+        self.regs[:] = ckpt.regs
+        for addr, image in ckpt.pages.items():
+            self.memory.write_bytes(addr, image)
+        st.blocks = ckpt.blocks
+        st.fired = ckpt.insts
+        st.reads = ckpt.reads
 
     def run_blocks(self, n: int) -> int:
         """Execute until ``stats.blocks`` reaches ``n`` (or HALT);

@@ -28,9 +28,10 @@ from ..compiler import compile_tir
 from ..tir import TirProgram, interpret
 from ..uarch.config import PROTOTYPE, TripsConfig
 from ..uarch.proc import TripsProcessor
-from .checkpoint import take_checkpoint
+from .checkpoint import ArchCheckpoint, take_checkpoint
 from .ffwd import FastForwarder
-from .stats import RATE_FIELDS, SampledProcStats, WindowSample, aggregate
+from .stats import (RATE_FIELDS, SampledProcStats, WindowSample, aggregate,
+                    aggregate_phases)
 
 
 @dataclass(frozen=True)
@@ -56,6 +57,18 @@ class SamplingConfig:
     over dct8x8's 2630-block macroblock loop land on just 5 distinct
     phases (5*1052 = 2*2630), turning phase structure into bias.  The
     stagger sequence is a fixed LCG, so runs stay reproducible.
+
+    ``clustering=True`` replaces the stratified-stride schedule with
+    SimPoint-style phase clustering (:mod:`~repro.sampling.phases`): a
+    cold fast-forward profiling pass collects one basic-block vector
+    per ``interval_blocks``, k-means (k chosen by a BIC-style score up
+    to ``max_phases``) groups the intervals into behavioral phases, and
+    ~``phase_windows`` measurement windows are placed on representative
+    intervals in proportion to phase population.  Estimates become
+    population-weighted (:func:`~repro.sampling.stats.aggregate_phases`)
+    and ``jitter``/``offset_blocks`` are ignored.  All randomness comes
+    from the fixed LCG seeded by ``phase_seed``, so schedules are
+    byte-identical across runs.
     """
 
     interval_blocks: int = 2000
@@ -64,6 +77,10 @@ class SamplingConfig:
     offset_blocks: int = 0
     warm_horizon: Optional[int] = None
     jitter: float = 0.25
+    clustering: bool = False
+    phase_windows: int = 12
+    max_phases: int = 8
+    phase_seed: int = 1
 
     def to_dict(self) -> Dict[str, object]:
         return {"interval_blocks": self.interval_blocks,
@@ -71,7 +88,11 @@ class SamplingConfig:
                 "measure_blocks": self.measure_blocks,
                 "offset_blocks": self.offset_blocks,
                 "warm_horizon": self.warm_horizon,
-                "jitter": self.jitter}
+                "jitter": self.jitter,
+                "clustering": self.clustering,
+                "phase_windows": self.phase_windows,
+                "max_phases": self.max_phases,
+                "phase_seed": self.phase_seed}
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "SamplingConfig":
@@ -81,19 +102,34 @@ class SamplingConfig:
                    measure_blocks=int(data["measure_blocks"]),
                    offset_blocks=int(data.get("offset_blocks", 0)),
                    warm_horizon=None if horizon is None else int(horizon),
-                   jitter=float(data.get("jitter", 0.25)))
+                   jitter=float(data.get("jitter", 0.25)),
+                   clustering=bool(data.get("clustering", False)),
+                   phase_windows=int(data.get("phase_windows", 12)),
+                   max_phases=int(data.get("max_phases", 8)),
+                   phase_seed=int(data.get("phase_seed", 1)))
 
     def validate(self) -> None:
         if self.measure_blocks <= 0 or self.interval_blocks <= 0:
             raise ValueError("interval/measure block counts must be > 0")
         if self.warmup_blocks < 0 or self.offset_blocks < 0:
             raise ValueError("warmup/offset block counts must be >= 0")
-        min_gap = self.interval_blocks - 2 * int(self.jitter *
-                                                 self.interval_blocks)
-        if self.measure_blocks + self.warmup_blocks > min_gap:
-            raise ValueError("windows overlap: warmup + measure exceeds "
-                             "the worst-case jittered sampling gap "
-                             f"({min_gap} blocks)")
+        if self.clustering:
+            if self.measure_blocks + self.warmup_blocks \
+                    > self.interval_blocks:
+                raise ValueError("windows overlap: warmup + measure must "
+                                 "fit inside one clustering interval "
+                                 f"({self.interval_blocks} blocks)")
+            if self.phase_windows < 1:
+                raise ValueError("phase_windows must be >= 1")
+            if self.max_phases < 1:
+                raise ValueError("max_phases must be >= 1")
+        else:
+            min_gap = self.interval_blocks - 2 * int(self.jitter *
+                                                     self.interval_blocks)
+            if self.measure_blocks + self.warmup_blocks > min_gap:
+                raise ValueError("windows overlap: warmup + measure exceeds "
+                                 "the worst-case jittered sampling gap "
+                                 f"({min_gap} blocks)")
         if self.warm_horizon is not None and self.warm_horizon < 0:
             raise ValueError("warm_horizon must be >= 0 or None")
         if not 0.0 <= self.jitter <= 0.4:
@@ -114,6 +150,139 @@ def _counter_snapshot(stats) -> Dict[str, int]:
     return {name: getattr(stats, name) for name in RATE_FIELDS}
 
 
+def _run_clustered(program, config: TripsConfig,
+                   sampling: SamplingConfig, telemetry,
+                   max_blocks: int) -> Tuple[SampledProcStats,
+                                             FastForwarder, List[dict],
+                                             "PhasePlan"]:
+    """The phase-clustered sampling driver (``clustering=True``).
+
+    Two fast-forward passes instead of one, both mostly *cold*:
+
+    1. A profiling pass (``warm=False`` + BBV collection) retires every
+       block — it is the source of the exact architectural outputs and
+       the exact block/instruction totals, and its per-interval BBVs
+       feed :func:`~repro.sampling.phases.plan_phases`.
+    2. A measurement pass that replays only up to the *last* scheduled
+       window (the totals are already known), warming predictor/cache
+       state continuously when ``warm_horizon`` is ``None`` or only
+       within the horizon of each window when it is set.
+
+    With a ``warm_horizon`` the measurement pass does not even replay:
+    the profiling pass snapshots architectural state at every interval
+    boundary, and since a cold stretch touches nothing *but*
+    architectural state, the measurement fast-forwarder teleports to the
+    latest snapshot before each window's warming horizon
+    (:meth:`~repro.sampling.ffwd.FastForwarder.restore_arch`) instead of
+    re-executing the stretch — byte-identical estimates, but the
+    second pass shrinks from O(program) to O(windows * interval).
+
+    Returns the plan alongside the usual triple so callers can report
+    phase counts and weights.
+    """
+    from .phases import plan_phases
+
+    prof = FastForwarder(program, config, warm=False,
+                         max_blocks=max_blocks,
+                         bbv_interval=sampling.interval_blocks)
+    restarts: List["ArchCheckpoint"] = []
+    boundary = sampling.interval_blocks
+    while not prof.halted:
+        prof.run_blocks(boundary)
+        if not prof.halted:
+            restarts.append(take_checkpoint(prof))
+        boundary += sampling.interval_blocks
+    plan = plan_phases(prof.bbv_vectors(), sampling.interval_blocks,
+                       total_blocks=prof.stats.blocks,
+                       target_windows=sampling.phase_windows,
+                       warmup_blocks=sampling.warmup_blocks,
+                       measure_blocks=sampling.measure_blocks,
+                       seed=sampling.phase_seed,
+                       max_phases=sampling.max_phases)
+
+    horizon = sampling.warm_horizon
+    ff = FastForwarder(program, config, warm=(horizon is None),
+                       max_blocks=max_blocks)
+    windows: List[WindowSample] = []
+    summaries: List[dict] = []
+    ri = 0                      # next profiling snapshot to consider
+    # a program shorter than two clustering intervals has no phase
+    # structure to exploit — skip straight to the full-simulation
+    # fallback below (exact, single phase) instead of estimating the
+    # whole program with one partial window and an unbounded CI
+    for win in (plan.windows if plan.n_intervals > 1 else ()):
+        start = max(win.start_block, ff.stats.blocks)
+        warm_start = max(0, start - sampling.warmup_blocks)
+        if horizon is not None:
+            cold_target = max(ff.stats.blocks, warm_start - horizon)
+            jump = None
+            while ri < len(restarts) and \
+                    restarts[ri].blocks <= cold_target:
+                jump = restarts[ri]
+                ri += 1
+            if jump is not None and jump.blocks > ff.stats.blocks:
+                ff.restore_arch(jump)
+            ff.warm = False
+            ff.run_blocks(cold_target)
+            ff.warm = True
+        ff.run_blocks(warm_start)
+        if ff.halted:
+            break
+        ckpt = take_checkpoint(ff)
+        proc = TripsProcessor(program, config, telemetry=telemetry,
+                              checkpoint=ckpt)
+        warm_target = start - ff.stats.blocks
+        if warm_target:
+            proc.run(until_blocks=warm_target)
+        if proc.halted and proc.stats.blocks_committed <= warm_target:
+            continue            # program ended inside the warmup span
+        proc.finalize_stats()
+        cycles0 = proc.cycle
+        insts0 = proc.stats.insts_committed
+        reads0 = proc.stats.reads_committed
+        counters0 = _counter_snapshot(proc.stats)
+        proc.run(until_blocks=warm_target + sampling.measure_blocks)
+        proc.finalize_stats()
+        measured = proc.stats.blocks_committed - warm_target
+        if measured <= 0:
+            continue
+        counters = {name: getattr(proc.stats, name) - counters0[name]
+                    for name in RATE_FIELDS}
+        windows.append(WindowSample(
+            start_block=start, blocks=measured,
+            cycles=proc.cycle - cycles0,
+            insts=proc.stats.insts_committed - insts0,
+            reads=proc.stats.reads_committed - reads0,
+            counters=counters, lsq_peak=proc.stats.lsq_peak,
+            phase=win.phase, weight=win.weight))
+        if proc.tel is not None:
+            summaries.append(proc.tel.summary().to_dict())
+
+    if not windows:
+        # program shorter than one clustering interval (or every window
+        # fell past program end): one full-length window == exact full
+        # simulation, reported as a single phase of weight 1
+        proc = TripsProcessor(program, config, telemetry=telemetry)
+        stats = proc.run()
+        windows.append(WindowSample(
+            start_block=0, blocks=stats.blocks_committed,
+            cycles=stats.cycles, insts=stats.insts_committed,
+            reads=stats.reads_committed,
+            counters=_counter_snapshot(stats), lsq_peak=stats.lsq_peak,
+            phase=0, weight=1.0))
+        if proc.tel is not None:
+            summaries.append(proc.tel.summary().to_dict())
+        sampled = aggregate_phases(windows, prof.stats.blocks,
+                                   prof.stats.fired, prof.stats.reads,
+                                   k=1, phase_weights=[1.0])
+        return sampled, prof, summaries, plan
+
+    sampled = aggregate_phases(windows, prof.stats.blocks,
+                               prof.stats.fired, prof.stats.reads,
+                               k=plan.k, phase_weights=plan.weights)
+    return sampled, prof, summaries, plan
+
+
 def run_sampled_program(program, config: TripsConfig = PROTOTYPE,
                         sampling: SamplingConfig = SamplingConfig(),
                         telemetry=None,
@@ -125,8 +294,16 @@ def run_sampled_program(program, config: TripsConfig = PROTOTYPE,
     Returns the aggregated stats, the (completed) fast-forwarder — whose
     ``regs``/``memory`` hold the exact architectural results — and one
     telemetry summary dict per window when ``telemetry`` is set.
+
+    With ``sampling.clustering`` the stride schedule is replaced by the
+    phase-clustered driver (see :func:`_run_clustered`); the returned
+    fast-forwarder is then the completed profiling pass.
     """
     sampling.validate()
+    if sampling.clustering:
+        sampled, ff, summaries, _ = _run_clustered(
+            program, config or PROTOTYPE, sampling, telemetry, max_blocks)
+        return sampled, ff, summaries
     ff = FastForwarder(program, config, warm=True, max_blocks=max_blocks)
     windows: List[WindowSample] = []
     summaries: List[dict] = []

@@ -48,7 +48,14 @@ RATE_FIELDS = ("blocks_flushed", "blocks_fetched", "flushes_mispredict",
 
 @dataclass
 class WindowSample:
-    """Raw deltas of one measurement window (warmup already excluded)."""
+    """Raw deltas of one measurement window (warmup already excluded).
+
+    ``phase``/``weight`` are set only by the phase-clustered scheduler
+    (:mod:`~repro.sampling.phases`): the cluster this window samples and
+    the population share it represents.  Stride-scheduled windows leave
+    them at their defaults and serialize without the keys, so the
+    defaults-off record format is unchanged.
+    """
 
     start_block: int                 # block index where measurement began
     blocks: int
@@ -57,12 +64,18 @@ class WindowSample:
     reads: int
     counters: Dict[str, int] = field(default_factory=dict)
     lsq_peak: int = 0
+    phase: int = -1
+    weight: float = 0.0
 
     def to_dict(self) -> dict:
-        return {"start_block": self.start_block, "blocks": self.blocks,
+        data = {"start_block": self.start_block, "blocks": self.blocks,
                 "cycles": self.cycles, "insts": self.insts,
                 "reads": self.reads, "counters": dict(self.counters),
                 "lsq_peak": self.lsq_peak}
+        if self.phase >= 0:
+            data["phase"] = self.phase
+            data["weight"] = self.weight
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "WindowSample":
@@ -70,7 +83,9 @@ class WindowSample:
                    cycles=data["cycles"], insts=data["insts"],
                    reads=data["reads"],
                    counters=dict(data.get("counters", {})),
-                   lsq_peak=data.get("lsq_peak", 0))
+                   lsq_peak=data.get("lsq_peak", 0),
+                   phase=data.get("phase", -1),
+                   weight=data.get("weight", 0.0))
 
 
 @dataclass
@@ -80,6 +95,12 @@ class SampledProcStats:
     Exact fields (from the functional fast-forward): ``blocks_total``,
     ``insts_total``, ``reads_total``.  Estimated fields carry a 95%
     confidence half-width in the matching ``*_ci`` field.
+
+    ``phases``/``phase_weights`` are populated only by the
+    phase-clustered estimator (:func:`aggregate_phases`): the number of
+    behavioral phases found and each phase's population share.  They are
+    dropped from ``to_dict`` when unset, keeping the defaults-off
+    serialization byte-identical to the stride-scheduled sampler's.
     """
 
     blocks_total: int = 0
@@ -97,6 +118,8 @@ class SampledProcStats:
     rates: Dict[str, float] = field(default_factory=dict)
     rates_ci: Dict[str, float] = field(default_factory=dict)
     window_detail: List[dict] = field(default_factory=list)
+    phases: int = 0
+    phase_weights: List[float] = field(default_factory=list)
 
     @property
     def coverage(self) -> float:
@@ -110,6 +133,11 @@ class SampledProcStats:
         data["rates"] = dict(self.rates)
         data["rates_ci"] = dict(self.rates_ci)
         data["window_detail"] = list(self.window_detail)
+        if not self.phases:             # defaults-off: PR-7 record format
+            del data["phases"]
+            del data["phase_weights"]
+        else:
+            data["phase_weights"] = list(self.phase_weights)
         return data
 
     @classmethod
@@ -171,4 +199,112 @@ def aggregate(windows: List[WindowSample], blocks_total: int,
         rates=rates,
         rates_ci=rates_ci,
         window_detail=[w.to_dict() for w in usable],
+    )
+
+
+def _weighted_stats(values_by_phase: Dict[int, List[float]],
+                    weights: Dict[int, float]) -> (float, float, int):
+    """Stratified point estimate + variance of the estimate + df.
+
+    Strata are phases; the estimate is the population-weighted mean of
+    per-phase means, the variance is ``sum(w_c^2 * s_c^2 / n_c)``.
+    Singleton strata (one window) cannot estimate their own variance, so
+    they borrow the pooled within-phase variance of the multi-window
+    strata; when *every* stratum is a singleton, the between-window
+    variance over all windows stands in — an overestimate (it includes
+    the between-phase spread the stratification removed), so the CI errs
+    wide, never narrow.
+    """
+    est = sum(weights[c] * (sum(vals) / len(vals))
+              for c, vals in values_by_phase.items())
+    pooled_num = pooled_den = 0
+    for vals in values_by_phase.values():
+        n = len(vals)
+        if n >= 2:
+            mean = sum(vals) / n
+            pooled_num += sum((v - mean) ** 2 for v in vals)
+            pooled_den += n - 1
+    if pooled_den:
+        pooled = pooled_num / pooled_den
+        var = sum(weights[c] ** 2 * pooled / len(vals)
+                  if len(vals) < 2 else
+                  weights[c] ** 2
+                  * (sum((v - sum(vals) / len(vals)) ** 2
+                         for v in vals) / (len(vals) - 1)) / len(vals)
+                  for c, vals in values_by_phase.items())
+        return est, var, pooled_den
+    everything = [v for vals in values_by_phase.values() for v in vals]
+    n_all = len(everything)
+    if n_all < 2:
+        return est, float("inf"), 0
+    mean = sum(everything) / n_all
+    s2 = sum((v - mean) ** 2 for v in everything) / (n_all - 1)
+    var = sum(weights[c] ** 2 * s2 for c in values_by_phase)
+    return est, var, n_all - 1
+
+
+def aggregate_phases(windows: List[WindowSample], blocks_total: int,
+                     insts_total: int, reads_total: int,
+                     k: int, phase_weights: List[float]
+                     ) -> SampledProcStats:
+    """Fold phase-scheduled windows into population-weighted estimates.
+
+    Each window carries its phase and the population share it represents
+    (:class:`~repro.sampling.phases.PhaseWindow`); phases whose windows
+    all fell past program end are dropped and the surviving phases'
+    weights renormalized, so the estimator stays a convex combination.
+    """
+    if not windows:
+        raise ValueError("no measurement windows to aggregate")
+    usable = [w for w in windows if w.blocks > 0]
+    if not usable:
+        raise ValueError("every measurement window is empty")
+
+    present: Dict[int, List[WindowSample]] = {}
+    for w in usable:
+        present.setdefault(w.phase, []).append(w)
+    raw = {c: sum(w.weight for w in group)
+           for c, group in present.items()}
+    total_w = sum(raw.values())
+    weights = {c: wt / total_w for c, wt in raw.items()}
+
+    cpb_by_phase = {c: [w.cycles / w.blocks for w in group]
+                    for c, group in present.items()}
+    cpb_mean, cpb_var, df = _weighted_stats(cpb_by_phase, weights)
+    cycles_est = cpb_mean * blocks_total
+    cycles_ci = t95(df) * math.sqrt(cpb_var) * blocks_total \
+        if math.isfinite(cpb_var) else float("inf")
+
+    ipc_est = insts_total / cycles_est if cycles_est else 0.0
+    ipc_ci = (insts_total / cycles_est ** 2) * cycles_ci \
+        if cycles_est and math.isfinite(cycles_ci) else float("inf")
+
+    rates: Dict[str, float] = {}
+    rates_ci: Dict[str, float] = {}
+    for name in RATE_FIELDS:
+        by_phase = {c: [w.counters.get(name, 0) / w.blocks for w in group]
+                    for c, group in present.items()}
+        mean, var, rdf = _weighted_stats(by_phase, weights)
+        rates[name] = mean * blocks_total
+        rates_ci[name] = t95(rdf) * math.sqrt(var) * blocks_total \
+            if math.isfinite(var) else float("inf")
+
+    return SampledProcStats(
+        blocks_total=blocks_total,
+        insts_total=insts_total,
+        reads_total=reads_total,
+        windows=len(usable),
+        measured_blocks=sum(w.blocks for w in usable),
+        measured_cycles=sum(w.cycles for w in usable),
+        measured_insts=sum(w.insts for w in usable),
+        cycles_est=cycles_est,
+        cycles_ci=cycles_ci,
+        ipc_est=ipc_est,
+        ipc_ci=ipc_ci,
+        lsq_peak=max(w.lsq_peak for w in usable),
+        rates=rates,
+        rates_ci=rates_ci,
+        window_detail=[w.to_dict() for w in usable],
+        phases=k,
+        phase_weights=list(phase_weights),
     )

@@ -15,6 +15,7 @@ tool behind EXPERIMENTS.md's warmup-sensitivity note.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from ..compiler import compile_tir
@@ -57,6 +58,7 @@ def measure_error(workload: str, size: int = 1,
         "sampling": sampling.to_dict(),
         "blocks": full.blocks_committed,
         "windows": sampled.windows,
+        "phases": sampled.phases,
         "coverage": round(sampled.coverage, 5),
         "full_cycles": full.cycles,
         "full_ipc": round(full.ipc, 4),
@@ -88,13 +90,30 @@ def warmup_sweep(workload: str, size: int,
     """
     rows = []
     for warmup in warmups:
-        cfg = SamplingConfig(
-            interval_blocks=sampling.interval_blocks,
-            warmup_blocks=warmup,
-            measure_blocks=sampling.measure_blocks,
-            offset_blocks=sampling.offset_blocks,
-            warm_horizon=sampling.warm_horizon,
-            jitter=sampling.jitter)
+        cfg = replace(sampling, warmup_blocks=warmup)
+        rows.append(measure_error(workload, size=size, sampling=cfg,
+                                  level=level, config=config))
+    return rows
+
+
+def staleness_sweep(workload: str, size: int,
+                    horizons: Sequence[Optional[int]],
+                    sampling: SamplingConfig = SamplingConfig(),
+                    level: str = "tcc",
+                    config: Optional[TripsConfig] = None) -> List[Dict]:
+    """``measure_error`` across ``warm_horizon`` values — the
+    cache-staleness bias budget behind bounded functional warming.
+
+    ``None`` (continuous warming) is the reference row; finite horizons
+    trade staleness of the warm tag/predictor state between windows for
+    fast-forward speed.  The read-out mirrors :func:`warmup_sweep`: the
+    smallest horizon whose error matches the ``None`` row is all the
+    warming the workload actually needs — everything beyond it is
+    wall-clock spent touching tags nobody will sample.
+    """
+    rows = []
+    for horizon in horizons:
+        cfg = replace(sampling, warm_horizon=horizon)
         rows.append(measure_error(workload, size=size, sampling=cfg,
                                   level=level, config=config))
     return rows

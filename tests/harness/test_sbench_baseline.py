@@ -1,0 +1,63 @@
+"""sbench --baseline: the two regression triggers, matching, skipping."""
+
+from repro.harness.sbench import (ERROR_TARGET_PCT, REGRESSION_THRESHOLD,
+                                  compare_to_sampling_baseline)
+
+
+def _row(workload="mcf", size=512, speedup=25.0, err=0.5):
+    return {"workload": workload, "size": size, "level": "tcc",
+            "effective_speedup": speedup, "cycles_err_pct": err}
+
+
+def test_speedup_drop_trips_the_verdict():
+    report = {"results": [_row(speedup=17.0)]}
+    base = {"results": [_row(speedup=25.0)]}
+    verdict = compare_to_sampling_baseline(report, base)
+    assert verdict["geomean_ratio"] < REGRESSION_THRESHOLD
+    assert verdict["regressed"] is True
+    assert verdict["error_growth_cases"] == []
+
+
+def test_error_growth_trips_even_when_speedup_improves():
+    report = {"results": [_row(speedup=40.0, err=ERROR_TARGET_PCT + 0.5)]}
+    base = {"results": [_row(speedup=25.0, err=0.4)]}
+    verdict = compare_to_sampling_baseline(report, base)
+    assert verdict["error_growth_cases"] == ["mcfx512@tcc"]
+    assert verdict["regressed"] is True
+
+
+def test_error_already_over_target_in_baseline_is_not_growth():
+    # a case the baseline itself recorded beyond the target never
+    # trips the growth trigger — it was never a promise
+    report = {"results": [_row(err=ERROR_TARGET_PCT + 0.8)]}
+    base = {"results": [_row(err=ERROR_TARGET_PCT + 0.9)]}
+    verdict = compare_to_sampling_baseline(report, base)
+    assert verdict["error_growth_cases"] == []
+    assert verdict["regressed"] is False
+
+
+def test_within_threshold_passes():
+    report = {"results": [_row(speedup=24.0), _row("dct8x8", 128, 30.0)]}
+    base = {"results": [_row(speedup=25.0), _row("dct8x8", 128, 29.0)]}
+    verdict = compare_to_sampling_baseline(report, base)
+    assert verdict["matched_cases"] == 2
+    assert verdict["regressed"] is False
+
+
+def test_unmatched_cases_skip_with_warning():
+    messages = []
+    report = {"results": [_row(), _row("bezier02", 4096)]}
+    base = {"results": [_row()]}
+    verdict = compare_to_sampling_baseline(report, base,
+                                           log=messages.append)
+    assert verdict["matched_cases"] == 1
+    assert verdict["skipped"] == ["bezier02x4096@tcc"]
+    assert any("skipped" in m for m in messages)
+
+
+def test_cross_host_note_is_logged():
+    messages = []
+    report = {"host": "a", "results": [_row()]}
+    base = {"host": "b", "results": [_row()]}
+    compare_to_sampling_baseline(report, base, log=messages.append)
+    assert any("host" in m for m in messages)

@@ -107,3 +107,108 @@ class TestSampledRuns:
         data = run.sampled.to_dict()
         back = SampledProcStats.from_dict(data)
         assert back.to_dict() == data
+
+
+class TestDefaultsOffByteIdentity:
+    """Adding phase clustering must not move a single byte of the
+    defaults-off record: these hashes were captured from the sampler
+    *before* phases.py existed, and pin both the numbers and the
+    serialization format (key set, float repr, window detail)."""
+
+    GOLDEN = {
+        ("mcf", 8, None):
+            "958a61f7d6cf1d7c23f82bc9b2496c8bb02199f85c95c290951c31327be1d4ec",
+        ("a2time01", 64, None):
+            "20da2e63c287eed332700e13d0142c246e4c8e07e9a2211c9d70fd97d1a8c274",
+        ("mcf", 8, 400):
+            "26461f3b85973003bdfdac42dcb15f12334cfbe66f0562956a0702b023288af6",
+    }
+
+    @pytest.mark.parametrize("name,size,horizon", sorted(
+        GOLDEN, key=str))
+    def test_matches_pre_clustering_golden(self, name, size, horizon):
+        import hashlib
+        import json
+        sampling = SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                                  measure_blocks=120, warm_horizon=horizon)
+        run = run_sampled_workload(name, level="tcc", size=size,
+                                   sampling=sampling)
+        blob = json.dumps(run.sampled.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+        got = hashlib.sha256(blob.encode()).hexdigest()
+        assert got == self.GOLDEN[(name, size, horizon)]
+
+
+class TestClusteredSampling:
+    CFG = SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                         measure_blocks=120, clustering=True,
+                         phase_windows=10, warm_horizon=400)
+
+    def test_clustered_totals_exact_and_outputs_validate(self):
+        run = run_sampled_workload("mcf", level="tcc", size=8,
+                                   sampling=self.CFG)
+        full = run_trips_workload("mcf", level="tcc", size=8)
+        s = run.sampled
+        assert s.blocks_total == full.stats.blocks_committed
+        assert s.insts_total == full.stats.insts_committed
+        assert s.reads_total == full.stats.reads_committed
+        assert run.fallback_blocks == 0
+
+    def test_clustered_estimate_tracks_ground_truth(self):
+        run = run_sampled_workload("mcf", level="tcc", size=32,
+                                   sampling=self.CFG)
+        full = run_trips_workload("mcf", level="tcc", size=32)
+        err = run.sampled.cycles_est / full.stats.cycles - 1.0
+        assert abs(err) < 0.06, f"mcf x32: {100 * err:+.2f}% error"
+        assert run.sampled.phases >= 2
+        # clustering spends far fewer windows than the stride schedule
+        # would at this interval (~30) for the same tolerance
+        assert run.sampled.windows <= 2 * self.CFG.phase_windows
+
+    def test_clustering_requires_window_inside_interval(self):
+        with pytest.raises(ValueError, match="clustering interval"):
+            SamplingConfig(interval_blocks=150, warmup_blocks=80,
+                           measure_blocks=120, clustering=True).validate()
+
+    def test_clustered_config_roundtrip(self):
+        cfg = SamplingConfig(interval_blocks=1000, clustering=True,
+                             phase_windows=9, max_phases=5, phase_seed=42,
+                             warm_horizon=300)
+        assert SamplingConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_pre_clustering_dicts_still_load(self):
+        # a sampling dict recorded before clustering existed has none of
+        # the new keys; from_dict must fill defaults (= defaults-off)
+        cfg = SamplingConfig.from_dict({"interval_blocks": 800,
+                                        "warmup_blocks": 80,
+                                        "measure_blocks": 120})
+        assert cfg.clustering is False
+        assert cfg.phase_windows == 12
+        assert cfg.phase_seed == 1
+
+    def test_short_program_degenerates_to_full_simulation(self):
+        run = run_sampled_workload("vadd", level="tcc", sampling=self.CFG)
+        full = run_trips_workload("vadd", level="tcc")
+        s = run.sampled
+        assert s.windows == 1
+        assert s.coverage == 1.0
+        assert s.cycles_est == full.stats.cycles
+        assert s.phases == 1 and s.phase_weights == [1.0]
+
+    def test_clustered_telemetry_one_summary_per_window(self):
+        from repro.workloads import get_workload
+        program = compile_tir(get_workload("mcf", size=8),
+                              level="tcc").program
+        sampled, _, summaries = run_sampled_program(
+            program, config=TripsConfig(), sampling=self.CFG,
+            telemetry=True)
+        assert len(summaries) == sampled.windows
+
+    def test_clustered_serialization_roundtrip(self):
+        from repro.sampling import SampledProcStats
+        run = run_sampled_workload("mcf", level="tcc", size=8,
+                                   sampling=self.CFG)
+        data = run.sampled.to_dict()
+        assert data["phases"] == run.sampled.phases
+        back = SampledProcStats.from_dict(data)
+        assert back.to_dict() == data

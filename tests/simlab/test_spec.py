@@ -66,6 +66,32 @@ class TestKeyStability:
                                            "interval_blocks": 500})
         assert a.key == b.key
 
+    def test_phase_clustering_fields_feed_the_key(self):
+        # a cached stratified run must never satisfy a clustered request
+        # (or one with a different phase geometry / warming horizon)
+        from repro.sampling import SamplingConfig
+        base = RunSpec.trips("mcf", level="tcc", sampling=SamplingConfig(
+            interval_blocks=800, warmup_blocks=80, measure_blocks=120))
+        seen = {base.key}
+        for variant in (
+                SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                               measure_blocks=120, clustering=True),
+                SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                               measure_blocks=120, clustering=True,
+                               phase_windows=20),
+                SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                               measure_blocks=120, clustering=True,
+                               max_phases=4),
+                SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                               measure_blocks=120, clustering=True,
+                               phase_seed=2),
+                SamplingConfig(interval_blocks=800, warmup_blocks=80,
+                               measure_blocks=120, warm_horizon=400)):
+            key = RunSpec.trips("mcf", level="tcc",
+                                sampling=variant).key
+            assert key not in seen
+            seen.add(key)
+
 
 class TestRoundTrip:
     def test_sampled_spec_round_trips(self):
@@ -77,6 +103,30 @@ class TestRoundTrip:
         assert clone == spec
         assert clone.key == spec.key
         assert clone.sampling_config() == spec.sampling_config()
+
+    def test_clustered_spec_round_trips(self):
+        from repro.sampling import SamplingConfig
+        spec = RunSpec.trips("mcf", level="tcc", size=32,
+                             sampling=SamplingConfig(
+                                 interval_blocks=1000, warmup_blocks=80,
+                                 measure_blocks=120, clustering=True,
+                                 phase_windows=9, warm_horizon=300))
+        clone = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone.key == spec.key
+        cfg = clone.sampling_config()
+        assert cfg.clustering is True
+        assert cfg.phase_windows == 9
+        assert cfg.warm_horizon == 300
+
+    def test_pre_clustering_sampling_dict_still_loads(self):
+        # specs serialized before the clustering fields existed carry a
+        # sampling dict without them; sampling_config() must default off
+        spec = RunSpec.trips("mcf", sampling={"interval_blocks": 800,
+                                              "warmup_blocks": 80,
+                                              "measure_blocks": 120})
+        cfg = spec.sampling_config()
+        assert cfg.clustering is False
+        assert cfg.warm_horizon is None
 
     def test_dict_round_trip_preserves_identity(self):
         spec = RunSpec.compare("conv", hand=True,
